@@ -1,0 +1,55 @@
+"""Figure 6a — the analytical η = α + ρ(|SB|+|NSB|)/γ curves.
+
+Sweeps γ from 100 to 50 000 for α ∈ {0.3, 0.6, 0.9, 1.0} at ρ = 10 % (the
+paper's setting) with |SB| = |NSB| = √|NS| and checks the figure's shape:
+η falls towards α as γ grows, curves are ordered by α, and for every α < 1
+there is a crossover γ beyond which QB beats full encryption (η < 1).
+"""
+
+from repro.model.cost import crossover_gamma, eta_sweep
+
+from benchmarks.helpers import print_table
+
+GAMMAS = [100, 500, 1_000, 5_000, 10_000, 20_000, 30_000, 40_000, 50_000]
+ALPHAS = [0.3, 0.6, 0.9, 1.0]
+NUM_NON_SENSITIVE_VALUES = 40_000
+RHO = 0.10
+
+
+def sweep():
+    return eta_sweep(GAMMAS, ALPHAS, NUM_NON_SENSITIVE_VALUES, rho=RHO)
+
+
+def test_figure6a_eta_vs_gamma(benchmark):
+    curves = benchmark(sweep)
+
+    rows = []
+    for gamma in GAMMAS:
+        row = [gamma]
+        for alpha in ALPHAS:
+            eta = dict(curves[alpha])[gamma]
+            row.append(f"{eta:.3f}")
+        rows.append(tuple(row))
+    print_table(
+        "Figure 6a: eta as a function of gamma (rho = 10%)",
+        ["gamma"] + [f"alpha={alpha}" for alpha in ALPHAS],
+        rows,
+    )
+    for alpha in (0.3, 0.6, 0.9):
+        print(
+            f"  crossover gamma for alpha={alpha}: "
+            f"{crossover_gamma(alpha, NUM_NON_SENSITIVE_VALUES, rho=RHO):.0f}"
+        )
+
+    # Shape assertions.
+    for alpha in ALPHAS:
+        etas = [eta for _gamma, eta in curves[alpha]]
+        assert etas == sorted(etas, reverse=True)  # eta decreases with gamma
+        assert abs(etas[-1] - alpha) < 0.25  # eta tends to alpha for large gamma
+    # Ordering by alpha at every gamma.
+    for gamma in GAMMAS:
+        at_gamma = [dict(curves[alpha])[gamma] for alpha in ALPHAS]
+        assert at_gamma == sorted(at_gamma)
+    # QB eventually wins for every alpha < 1 but never for alpha = 1.
+    assert dict(curves[0.9])[50_000] < 1.0
+    assert all(eta >= 1.0 for _gamma, eta in curves[1.0])

@@ -1,0 +1,90 @@
+"""Table V / Figure 4b — dropping surviving matches by ignoring Algorithm 2.
+
+Replays the paper's strawman: associated values are answered correctly, but
+the non-associated values are always served from a fixed bin pair instead of
+the pair Algorithm 2 dictates.  The resulting adversarial view eliminates
+surviving matches — the adversary learns that SB2's tuples can only be
+associated with NSB0 — which is exactly the leakage Figure 4b illustrates.
+"""
+
+import itertools
+
+from repro.adversary.surviving_matches import SurvivingMatchAnalysis
+from repro.adversary.view import AdversarialView, ViewLog
+from repro.core.retrieval import BinRetriever
+
+from benchmarks.bench_table4_surviving_matches import figure3_layout
+from benchmarks.helpers import print_table
+
+#: The fixed (sensitive bin, non-sensitive bin) pairs the strawman uses for the
+#: non-associated values, mirroring Table V.
+TABLE5_FIXED_PAIRS = {
+    "s7": (2, 0),
+    "ns12": (1, 1),
+    "ns13": (1, 1),
+    "ns14": (1, 1),
+    "ns15": (1, 1),
+    "s4": (4, 0),
+    "s8": (3, 0),
+    "s9": (4, 0),
+    "s10": (0, 0),
+}
+
+
+def run_strawman():
+    layout = figure3_layout()
+    retriever = BinRetriever(layout)
+    log = ViewLog()
+    query_id = itertools.count()
+    for value in ("s1", "s2", "s3", "s5", "s6"):  # associated: follow the rules
+        decision = retriever.retrieve(value)
+        log.append(
+            AdversarialView(
+                query_id=next(query_id),
+                attribute="A",
+                non_sensitive_request=decision.non_sensitive_values,
+                sensitive_request_size=len(decision.sensitive_values),
+                returned_non_sensitive=(),
+                returned_sensitive_rids=tuple(range(len(decision.sensitive_values))),
+                sensitive_bin_index=decision.sensitive_bin_index,
+                non_sensitive_bin_index=decision.non_sensitive_bin_index,
+            )
+        )
+    for value, (sensitive_bin, non_sensitive_bin) in TABLE5_FIXED_PAIRS.items():
+        log.append(
+            AdversarialView(
+                query_id=next(query_id),
+                attribute="A",
+                non_sensitive_request=layout.non_sensitive_bin(non_sensitive_bin).values,
+                sensitive_request_size=layout.sensitive_bin(sensitive_bin).size,
+                returned_non_sensitive=(),
+                returned_sensitive_rids=(sensitive_bin,),
+                sensitive_bin_index=sensitive_bin,
+                non_sensitive_bin_index=non_sensitive_bin,
+            )
+        )
+    return layout, SurvivingMatchAnalysis.from_view_log(
+        log, num_sensitive_bins=5, num_non_sensitive_bins=2
+    )
+
+
+def test_table5_dropped_surviving_matches(benchmark):
+    layout, analysis = benchmark(run_strawman)
+
+    dropped = analysis.dropped_pairs()
+    rows = [(f"SB{i}", f"NSB{j}") for i, j in dropped]
+    print_table(
+        "Figure 4b: surviving matches dropped by the Table V strawman",
+        ["sensitive bin", "non-sensitive bin no longer possible"],
+        rows,
+    )
+    print(
+        f"  surviving fraction: {analysis.surviving_fraction():.2f} "
+        f"(QB with Algorithm 2 keeps 1.00)"
+    )
+
+    # The paper's observation: random/fixed retrieval drops matches (e.g. SB2
+    # is never seen with NSB1), so the strawman is insecure.
+    assert not analysis.is_complete()
+    assert (2, 1) in dropped
+    assert analysis.surviving_fraction() < 1.0

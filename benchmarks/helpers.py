@@ -1,0 +1,64 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper: it builds
+the corresponding workload, runs the relevant part of the library, prints the
+regenerated rows/series (visible with ``pytest benchmarks/ --benchmark-only -s``
+or in the captured output section), and asserts the qualitative *shape* the
+paper reports (who wins, monotonicity, crossovers) rather than absolute
+numbers, since the substrate is a simulator rather than the authors' testbed.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cloud.server import CloudServer
+from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.data.partition import PartitionResult
+
+
+def build_qb_engine(
+    partition: PartitionResult,
+    attribute: str,
+    seed: int = 11,
+    scheme=None,
+    force_layout: Optional[tuple] = None,
+) -> QueryBinningEngine:
+    """A ready-to-query QB engine with a deterministic permutation."""
+    engine = QueryBinningEngine(
+        partition=partition,
+        attribute=attribute,
+        scheme=scheme or NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(seed),
+        force_layout=force_layout,
+    )
+    return engine.setup()
+
+
+def build_naive_engine(
+    partition: PartitionResult, attribute: str, scheme=None
+) -> NaivePartitionedEngine:
+    """The non-binned (leaky) partitioned engine used as the §II strawman."""
+    engine = NaivePartitionedEngine(
+        partition=partition,
+        attribute=attribute,
+        scheme=scheme or NonDeterministicScheme(),
+        cloud=CloudServer(),
+    )
+    return engine.setup()
+
+
+def print_table(title: str, header: list, rows: list) -> None:
+    """Print a small aligned table (the regenerated paper table/figure)."""
+    print(f"\n=== {title} ===")
+    widths = [
+        max(len(str(header[i])), *(len(str(row[i])) for row in rows)) if rows else len(str(header[i]))
+        for i in range(len(header))
+    ]
+    print("  " + " | ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in rows:
+        print("  " + " | ".join(str(cell).ljust(widths[i]) for i, cell in enumerate(row)))

@@ -1,0 +1,14 @@
+"""Pytest bootstrap for running the suite from a source checkout.
+
+If the package has been installed (``pip install -e .``) this file is a
+no-op; otherwise it puts ``src/`` on ``sys.path`` so ``import repro`` works
+when tests and benchmarks are run directly from the repository root (useful in
+offline environments where editable installs are unavailable).
+"""
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parent / "src"
+if _SRC.is_dir() and str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""The inference attack of §II and how Query Binning stops it.
+
+Replays the paper's Example 2 / Table II (naive partitioned execution leaks
+which employees work only in Defense, only in Design, or in both) and then the
+same three queries under QB / Table III (the adversary learns nothing).
+
+Run with:  python examples/employee_inference.py
+"""
+
+import random
+
+from repro.adversary.attacks import kpa_association_attack
+from repro.cloud.server import CloudServer
+from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.workloads.employee import employee_partition, paper_example_queries
+
+
+def describe_views(title: str, view_log) -> None:
+    print(f"\n{title}")
+    print(f"{'query #':>8} | {'cleartext request':<32} | {'returned rids (enc)':<20} | cleartext rows")
+    for view in view_log:
+        request = ", ".join(map(str, view.non_sensitive_request)) or "-"
+        rids = ", ".join(f"E(t{rid})" for rid in view.returned_sensitive_rids) or "null"
+        plain = ", ".join(row["EId"] for row in view.returned_non_sensitive) or "null"
+        print(f"{view.query_id:>8} | {request:<32} | {rids:<20} | {plain}")
+
+
+def main() -> None:
+    queries = paper_example_queries()
+
+    # --- naive partitioned execution (Table II) -----------------------------
+    naive = NaivePartitionedEngine(
+        partition=employee_partition(),
+        attribute="EId",
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+    ).setup()
+    for value in queries:
+        naive.query(value)
+    describe_views("Table II — adversarial view without QB", naive.cloud.view_log)
+
+    outcome = kpa_association_attack(naive.cloud.view_log, num_non_sensitive_values=4)
+    print(
+        f"\nAssociation attack against the naive execution: succeeded={outcome.succeeded} "
+        f"(posterior {outcome.details['best_posterior']:.2f} vs prior {outcome.details['prior']:.2f})"
+    )
+    print(
+        "  values exposed as existing only in the clear:"
+        f" {outcome.details['values_exposed_as_non_sensitive_only']}"
+    )
+
+    # --- the same queries under Query Binning (Table III) --------------------
+    qb = QueryBinningEngine(
+        partition=employee_partition(),
+        attribute="EId",
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(23),
+    ).setup()
+    for value in queries:
+        qb.query(value)
+    describe_views("Table III — adversarial view with QB", qb.cloud.view_log)
+
+    outcome = kpa_association_attack(qb.cloud.view_log, num_non_sensitive_values=4)
+    print(
+        f"\nAssociation attack against QB: succeeded={outcome.succeeded} "
+        f"(posterior {outcome.details['best_posterior']:.2f} vs prior {outcome.details['prior']:.2f})"
+    )
+    print("\nQB keeps the answers identical while hiding the associations.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,109 @@
+#!/usr/bin/env python3
+"""Composing QB with access-pattern-hiding techniques (ORAM / PIR) and the
+group-by aggregation extension.
+
+The paper points out that QB does not hide *which* encrypted tuples are
+returned (the access pattern) and suggests layering ORAM or PIR on the
+sensitive side.  This example shows both compositions on the Employee data:
+
+1. the sensitive rows are additionally stored in a Path ORAM, so fetching a
+   bin touches a uniformly random tree path instead of named addresses;
+2. alternatively, single rows are fetched by index through a two-server PIR
+   built on distributed point functions;
+3. finally, the group-by aggregation extension computes per-department
+   statistics through the ordinary QB machinery.
+
+Run with:  python examples/oblivious_retrieval.py
+"""
+
+import pickle
+import random
+
+from repro.cloud.server import CloudServer
+from repro.core.engine import QueryBinningEngine
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.crypto.oram import ObliviousRowStore
+from repro.crypto.pir import TwoServerPIR
+from repro.data.partition import SensitivityPolicy, partition_relation
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.extensions.aggregation import GroupByAggregator
+
+
+def payroll_relation() -> Relation:
+    schema = Schema(
+        [Attribute("dept"), Attribute("salary", dtype=int), Attribute("employee")]
+    )
+    relation = Relation("payroll", schema)
+    rng = random.Random(5)
+    departments = ["defense", "design", "it", "hr"]
+    for index in range(48):
+        dept = departments[index % len(departments)]
+        relation.insert(
+            {
+                "dept": dept,
+                "salary": 50_000 + rng.randrange(0, 60_000, 1000),
+                "employee": f"emp{index:02d}",
+            },
+            sensitive=(dept == "defense"),
+        )
+    return relation
+
+
+def main() -> None:
+    relation = payroll_relation()
+    partition = partition_relation(relation, SensitivityPolicy())
+    engine = QueryBinningEngine(
+        partition=partition,
+        attribute="dept",
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(11),
+    ).setup()
+
+    # 1. Path ORAM over the sensitive rows -------------------------------------
+    sensitive_rows = list(partition.sensitive.rows)
+    store = ObliviousRowStore(capacity=len(sensitive_rows) * 2)
+    for row in sensitive_rows:
+        store.store_row(row.rid, pickle.dumps(row.as_dict()))
+    binned = engine.rewrite("defense")
+    fetched = [
+        pickle.loads(store.fetch_row(row.rid))
+        for row in sensitive_rows
+        if row["dept"] in binned.sensitive_values
+    ]
+    print(
+        f"Path ORAM: fetched {len(fetched)} sensitive rows for the defense bin via "
+        f"{store.accesses} oblivious accesses "
+        f"({store.server.bucket_reads} bucket reads — the cloud saw only random paths)"
+    )
+
+    # 2. Two-server PIR over the encrypted sensitive rows ------------------------
+    records = [pickle.dumps(row.as_dict()) for row in sensitive_rows]
+    pir = TwoServerPIR(records)
+    target = 3
+    record = pickle.loads(pir.retrieve(target).rstrip(b"\x00"))
+    print(
+        f"Two-server PIR: privately retrieved record #{target} "
+        f"({record['employee']}, {record['dept']}) without revealing the index "
+        f"to either server"
+    )
+
+    # 3. Group-by aggregation through QB -------------------------------------------
+    aggregator = GroupByAggregator(engine)
+    results, trace = aggregator.aggregate(
+        measure="salary", functions=("count", "avg", "max")
+    )
+    print(
+        f"\nGroup-by aggregation over the binned attribute "
+        f"({trace.cloud_round_trips} cloud round trips for {trace.groups} groups):"
+    )
+    for result in sorted(results, key=lambda r: str(r.group)):
+        print(
+            f"  {result.group:<10} count={result.count:>2}  "
+            f"avg salary={result.avg:>9.0f}  max={result.max}"
+        )
+
+
+if __name__ == "__main__":
+    main()

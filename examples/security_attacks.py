@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Attack demonstrations: what leaks without QB and what QB prevents (§VI).
+
+Three scenarios over the same skewed dataset and skewed query workload:
+
+1. a CryptDB-style deterministic store — the frequency-count attack recovers
+   the exact value histogram from ciphertext equality;
+2. naive partitioned execution over a non-deterministic scheme — the size and
+   workload-skew attacks identify heavy values and hot queries;
+3. Query Binning over the same scheme — the whole attack battery fails.
+
+Run with:  python examples/security_attacks.py
+"""
+
+import random
+
+from repro.adversary.attacks import run_all_attacks
+from repro.baselines.cryptdb_sim import DeterministicStoreBaseline
+from repro.cloud.server import CloudServer
+from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.workloads.generator import generate_partitioned_dataset
+from repro.workloads.queries import skewed_workload
+
+
+def report(title: str, outcomes) -> None:
+    print(f"\n{title}")
+    for outcome in outcomes:
+        status = "SUCCEEDED" if outcome.succeeded else "failed"
+        print(f"  {outcome.name:<18} {status:<10} advantage={outcome.advantage:.3f}")
+
+
+def main() -> None:
+    dataset = generate_partitioned_dataset(
+        num_values=80,
+        sensitivity_fraction=0.4,
+        association_fraction=0.5,
+        tuples_per_value=6,
+        skew_exponent=1.1,
+        seed=101,
+    )
+    workload = skewed_workload(dataset.all_values, num_queries=300, exponent=1.4, seed=7)
+    print(
+        f"Dataset: {dataset.total_tuples} tuples over {len(dataset.all_values)} values "
+        f"(alpha={dataset.alpha:.0%}); workload: {len(workload)} Zipf-skewed queries"
+    )
+
+    # 1. deterministic encryption of everything --------------------------------
+    det = DeterministicStoreBaseline(dataset.relation, dataset.attribute).setup()
+    det.execute_workload(workload[:50])
+    outcomes = run_all_attacks(
+        det.cloud.view_log,
+        det.stored_ciphertexts(),
+        num_non_sensitive_values=len(dataset.non_sensitive_counts),
+        true_counts=dict(dataset.relation.value_counts(dataset.attribute)),
+    )
+    report("1) Deterministic encryption (CryptDB-style DET column)", outcomes)
+
+    # 2. naive partitioned execution --------------------------------------------
+    naive = NaivePartitionedEngine(
+        partition=dataset.partition,
+        attribute=dataset.attribute,
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+    ).setup()
+    naive.execute_workload(workload)
+    outcomes = run_all_attacks(
+        naive.cloud.view_log,
+        naive.cloud.stored_encrypted_rows,
+        num_non_sensitive_values=len(dataset.non_sensitive_counts),
+        true_counts=dataset.sensitive_counts,
+    )
+    report("2) Partitioned execution WITHOUT query binning", outcomes)
+
+    # 3. query binning ------------------------------------------------------------
+    qb = QueryBinningEngine(
+        partition=dataset.partition,
+        attribute=dataset.attribute,
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(5),
+    ).setup()
+    qb.execute_workload(workload)
+    outcomes = run_all_attacks(
+        qb.cloud.view_log,
+        qb.cloud.stored_encrypted_rows,
+        num_non_sensitive_values=len(dataset.non_sensitive_counts),
+        true_counts=dataset.sensitive_counts,
+    )
+    report("3) Partitioned execution WITH query binning", outcomes)
+
+    print(
+        "\nQB answers the same workload while defeating the size, frequency-count, "
+        "workload-skew, and association attacks (the paper's §VI claim)."
+    )
+
+
+if __name__ == "__main__":
+    main()

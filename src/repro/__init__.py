@@ -1,0 +1,112 @@
+"""repro — a reproduction of "Partitioned Data Security on Outsourced
+Sensitive and Non-sensitive Data" (Mehrotra, Sharma, Ullman, Mishra; ICDE 2019).
+
+The library implements the paper's Query Binning (QB) technique end to end:
+
+* a relational substrate with row-level sensitivity partitioning
+  (:mod:`repro.data`),
+* the cryptographic techniques QB can sit on top of (:mod:`repro.crypto`),
+* an honest-but-curious public cloud that records adversarial views
+  (:mod:`repro.cloud`),
+* the QB bin-creation and bin-retrieval algorithms plus an end-to-end engine
+  (:mod:`repro.core`),
+* the trusted DB-owner façade (:mod:`repro.owner`),
+* the attacks and the partitioned-data-security auditor
+  (:mod:`repro.adversary`),
+* the analytical cost model of §V (:mod:`repro.model`),
+* workload generators, comparison baselines, and full-version extensions
+  (:mod:`repro.workloads`, :mod:`repro.baselines`, :mod:`repro.extensions`).
+
+Quickstart
+----------
+>>> from repro import DBOwner
+>>> from repro.workloads.employee import build_employee_relation, employee_policy
+>>> owner = DBOwner(build_employee_relation(), employee_policy())
+>>> engine = owner.outsource("EId")
+>>> sorted(row["Office"] for row in owner.query("EId", "E259"))
+['2', '6']
+"""
+
+from repro.exceptions import (
+    BinLookupError,
+    BinningError,
+    CloudError,
+    ConfigurationError,
+    CryptoError,
+    IntegrityError,
+    PartitioningError,
+    QueryError,
+    ReproError,
+    SchemaError,
+    SecurityViolation,
+    UnknownAttributeError,
+)
+from repro.data import (
+    Attribute,
+    PartitionResult,
+    Relation,
+    Row,
+    Schema,
+    SensitivityPolicy,
+    partition_relation,
+)
+from repro.core import (
+    BinLayout,
+    BinRetriever,
+    NaivePartitionedEngine,
+    OwnerMetadata,
+    QueryBinningEngine,
+    create_bins,
+    create_general_bins,
+    plan_binning,
+)
+from repro.owner import DBOwner, KeyStore
+from repro.cloud import CloudServer, NetworkModel
+from repro.adversary import PartitionedSecurityAuditor, SurvivingMatchAnalysis
+from repro.model import CostParameters, eta_simplified
+
+__version__ = "0.1.0"
+
+__all__ = [
+    # exceptions
+    "ReproError",
+    "SchemaError",
+    "UnknownAttributeError",
+    "PartitioningError",
+    "BinningError",
+    "BinLookupError",
+    "QueryError",
+    "CryptoError",
+    "IntegrityError",
+    "CloudError",
+    "SecurityViolation",
+    "ConfigurationError",
+    # data
+    "Attribute",
+    "Schema",
+    "Relation",
+    "Row",
+    "SensitivityPolicy",
+    "PartitionResult",
+    "partition_relation",
+    # core
+    "create_bins",
+    "create_general_bins",
+    "plan_binning",
+    "BinLayout",
+    "BinRetriever",
+    "OwnerMetadata",
+    "QueryBinningEngine",
+    "NaivePartitionedEngine",
+    # owner / cloud
+    "DBOwner",
+    "KeyStore",
+    "CloudServer",
+    "NetworkModel",
+    # security & model
+    "PartitionedSecurityAuditor",
+    "SurvivingMatchAnalysis",
+    "CostParameters",
+    "eta_simplified",
+    "__version__",
+]

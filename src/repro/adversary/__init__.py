@@ -1,0 +1,34 @@
+"""Honest-but-curious adversary: views, attacks, and security auditing.
+
+The adversary of the paper (§II) sees the full non-sensitive relation, knows
+auxiliary facts about the sensitive relation (cardinalities, schema), and
+observes every query's *adversarial view* — the request that reached the cloud
+and the tuples returned for it.  This package materialises those views,
+implements the attacks the paper discusses (size, frequency-count,
+workload-skew, and known-plaintext association), and provides an auditor that
+empirically checks the two conditions of partitioned data security.
+"""
+
+from repro.adversary.view import AdversarialView, ViewLog
+from repro.adversary.surviving_matches import SurvivingMatchAnalysis
+from repro.adversary.attacks import (
+    AttackOutcome,
+    frequency_count_attack,
+    kpa_association_attack,
+    size_attack,
+    workload_skew_attack,
+)
+from repro.adversary.auditor import PartitionedSecurityAuditor, SecurityReport
+
+__all__ = [
+    "AdversarialView",
+    "ViewLog",
+    "SurvivingMatchAnalysis",
+    "AttackOutcome",
+    "size_attack",
+    "frequency_count_attack",
+    "workload_skew_attack",
+    "kpa_association_attack",
+    "PartitionedSecurityAuditor",
+    "SecurityReport",
+]

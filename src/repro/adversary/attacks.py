@@ -1,0 +1,236 @@
+"""Concrete attacks the honest-but-curious adversary can mount.
+
+The paper (§I, §VI) names four attacks a cryptographic technique may be
+vulnerable to:
+
+* **size attack** — distinguish queries/values by the number of tuples
+  returned;
+* **frequency-count attack** — recover how many tuples share a value, e.g.
+  from deterministic ciphertext equality;
+* **workload-skew attack** — identify the most frequently queried values by
+  watching many queries;
+* **known-plaintext association (KPA-style) attack** — link an encrypted
+  sensitive tuple to the cleartext non-sensitive value it shares.
+
+Each attack consumes adversarial observations (views and/or stored
+ciphertexts) and returns an :class:`AttackOutcome` stating whether the
+adversary gained an advantage and how much.  The security benchmarks run the
+same attacks against naive partitioned execution (they succeed) and against
+QB (they fail).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.adversary.view import AdversarialView, ViewLog
+from repro.crypto.base import EncryptedRow
+
+
+@dataclass(frozen=True)
+class AttackOutcome:
+    """Result of one attack attempt."""
+
+    name: str
+    succeeded: bool
+    advantage: float
+    details: Dict[str, object] = field(default_factory=dict)
+
+    def __bool__(self) -> bool:
+        return self.succeeded
+
+
+# ---------------------------------------------------------------------------
+# size attack
+# ---------------------------------------------------------------------------
+
+def size_attack(view_log: ViewLog, distinguish_threshold: int = 1) -> AttackOutcome:
+    """Try to distinguish sensitive bins/values by returned output sizes.
+
+    The adversary groups observations by their encrypted-output signature (a
+    proxy for the sensitive bin) and compares the sizes of those outputs.  If
+    different groups return different numbers of encrypted tuples, the
+    adversary can order them ("this value/bin has more sensitive tuples than
+    that one"), which is exactly what partitioned data security's Eq. (2)
+    forbids.
+    """
+    sizes_by_group: Dict[Tuple[int, ...], int] = {}
+    for view in view_log:
+        signature = tuple(sorted(view.returned_sensitive_rids))
+        sizes_by_group[signature] = len(signature)
+    distinct_sizes = set(sizes_by_group.values())
+    # Groups that returned nothing at all carry no size signal.
+    distinct_sizes.discard(0)
+    succeeded = len(distinct_sizes) > distinguish_threshold
+    spread = (max(distinct_sizes) - min(distinct_sizes)) if distinct_sizes else 0
+    return AttackOutcome(
+        name="size",
+        succeeded=succeeded,
+        advantage=float(spread),
+        details={
+            "distinct_output_sizes": sorted(distinct_sizes),
+            "groups_observed": len(sizes_by_group),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# frequency-count attack
+# ---------------------------------------------------------------------------
+
+def frequency_count_attack(
+    stored_rows: Sequence[EncryptedRow],
+    true_counts: Optional[Mapping[object, int]] = None,
+) -> AttackOutcome:
+    """Recover the value-frequency histogram from ciphertext equality.
+
+    Deterministic encryption assigns equal tags to equal values, so the
+    multiset of tag multiplicities *is* the plaintext frequency histogram.
+    Probabilistic schemes (and Arx's counter construction) give every row a
+    unique tag, so the adversary recovers only the trivial all-ones histogram.
+
+    ``true_counts`` (the real histogram) is used to score the reconstruction;
+    without it the attack reports success whenever the recovered histogram is
+    non-trivial (some tag repeats).
+    """
+    tag_counts = Counter(row.search_tag for row in stored_rows if row.search_tag)
+    recovered = sorted(tag_counts.values(), reverse=True)
+    non_trivial = any(count > 1 for count in recovered)
+    if true_counts is None:
+        succeeded = non_trivial
+        match_fraction = 1.0 if non_trivial else 0.0
+    else:
+        truth = sorted(true_counts.values(), reverse=True)
+        succeeded = non_trivial and recovered == truth
+        overlap = sum(min(a, b) for a, b in zip(recovered, truth))
+        match_fraction = overlap / max(sum(truth), 1)
+    return AttackOutcome(
+        name="frequency-count",
+        succeeded=succeeded,
+        advantage=match_fraction,
+        details={
+            "recovered_histogram": recovered[:20],
+            "rows_observed": len(stored_rows),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# workload-skew attack
+# ---------------------------------------------------------------------------
+
+def workload_skew_attack(
+    view_log: ViewLog,
+    skew_ratio_threshold: float = 2.0,
+) -> AttackOutcome:
+    """Identify the hot query value from request repetition.
+
+    The adversary counts how often each request signature recurs.  If one
+    signature dominates (ratio over the median beyond the threshold), the
+    adversary has located the hot queries; the attack then *succeeds* if the
+    signature pins the queried value down to a single cleartext candidate
+    (naive execution sends exactly the value).  Under QB the hot signature
+    still appears, but it names an entire non-sensitive bin, so the candidate
+    set stays large and the attack fails.
+    """
+    frequency = view_log.request_frequency()
+    if not frequency:
+        return AttackOutcome("workload-skew", False, 0.0, {"observations": 0})
+    counts = sorted(frequency.values(), reverse=True)
+    top = counts[0]
+    median = counts[len(counts) // 2]
+    skew_detected = median > 0 and (top / median) >= skew_ratio_threshold
+    hot_signature = max(frequency, key=frequency.get)
+    hot_candidates = len(hot_signature[0]) if hot_signature[0] else 0
+    succeeded = skew_detected and hot_candidates == 1
+    advantage = 1.0 / hot_candidates if hot_candidates else 0.0
+    return AttackOutcome(
+        name="workload-skew",
+        succeeded=succeeded,
+        advantage=advantage if skew_detected else 0.0,
+        details={
+            "skew_detected": skew_detected,
+            "hot_signature_frequency": top,
+            "hot_candidate_set_size": hot_candidates,
+            "distinct_signatures": len(frequency),
+        },
+    )
+
+
+# ---------------------------------------------------------------------------
+# known-plaintext association attack
+# ---------------------------------------------------------------------------
+
+def kpa_association_attack(
+    view_log: ViewLog,
+    num_non_sensitive_values: int,
+) -> AttackOutcome:
+    """Link encrypted tuples to the cleartext values they are associated with.
+
+    For every view that returned encrypted tuples, the candidate cleartext
+    partners of those tuples are the values named in the cleartext half of the
+    request.  Naive partitioned execution requests a single value, so the
+    candidate set has size one (or zero, which is just as bad: the adversary
+    learns the value is *only* sensitive).  QB requests a whole bin, so the
+    posterior candidate set never shrinks below the bin size, and — because
+    every sensitive bin meets every non-sensitive bin over the workload — the
+    posterior over the full workload stays the uniform prior.
+    """
+    prior = 1.0 / num_non_sensitive_values if num_non_sensitive_values else 0.0
+    best_posterior = prior
+    pinned_rids: List[int] = []
+    exposed_values: List[object] = []
+    for view in view_log:
+        candidates = len(view.non_sensitive_request)
+        if view.returned_sensitive_rids and candidates == 1:
+            # Exact-value request answered from both sides: the adversary
+            # learns with certainty which cleartext value those encrypted
+            # tuples carry (Example 2, Q1).
+            pinned_rids.extend(view.returned_sensitive_rids)
+            best_posterior = 1.0
+        elif view.returned_sensitive_rids and candidates == 0:
+            # The query matched nothing public: the searched entity exists
+            # only on the sensitive side (Example 2, Q2).
+            pinned_rids.extend(view.returned_sensitive_rids)
+            best_posterior = 1.0
+        elif (
+            not view.returned_sensitive_rids
+            and candidates == 1
+            and view.returned_non_sensitive
+        ):
+            # A single-value cleartext request with no sensitive output tells
+            # the adversary that value is only non-sensitive (Example 2, Q3).
+            exposed_values.append(view.non_sensitive_request[0])
+            best_posterior = 1.0
+        # Requests naming several cleartext values (QB bins) do not pin any
+        # association: co-retrieval of two bins does not imply that a value is
+        # shared between them, so the posterior stays at the prior.
+    succeeded = best_posterior > prior + 1e-12
+    return AttackOutcome(
+        name="kpa-association",
+        succeeded=succeeded,
+        advantage=best_posterior - prior,
+        details={
+            "prior": prior,
+            "best_posterior": best_posterior,
+            "pinned_encrypted_rids": pinned_rids[:20],
+            "values_exposed_as_non_sensitive_only": exposed_values[:20],
+        },
+    )
+
+
+def run_all_attacks(
+    view_log: ViewLog,
+    stored_rows: Sequence[EncryptedRow],
+    num_non_sensitive_values: int,
+    true_counts: Optional[Mapping[object, int]] = None,
+) -> List[AttackOutcome]:
+    """Convenience: run the full attack battery and return all outcomes."""
+    return [
+        size_attack(view_log),
+        frequency_count_attack(stored_rows, true_counts),
+        workload_skew_attack(view_log),
+        kpa_association_attack(view_log, num_non_sensitive_values),
+    ]

@@ -1,0 +1,138 @@
+"""Empirical auditor for the partitioned data security definition (§III).
+
+The definition has two conditions:
+
+* **Eq. (1)** — for every encrypted value ``e_i`` and cleartext value
+  ``ns_j``, the probability that they are associated is the same before and
+  after observing the adversarial views;
+* **Eq. (2)** — for every pair of domain values, the probability of any
+  relationship (<, =, >) between their sensitive tuple counts is unchanged.
+
+The auditor checks both conditions *operationally* over a recorded workload:
+
+* Eq. (1) holds when no view lets the adversary shrink an association
+  candidate set below the prior — structurally, when the surviving-match bin
+  graph stays complete once all domain values have been queried, and no view
+  pairs a singleton cleartext request with encrypted output (or exposes a
+  value as existing on only one side).
+* Eq. (2) holds when every observed encrypted output has the same size, so
+  output sizes carry no information about relative frequencies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.adversary.attacks import kpa_association_attack, size_attack
+from repro.adversary.surviving_matches import SurvivingMatchAnalysis
+from repro.adversary.view import ViewLog
+from repro.core.bins import BinLayout
+from repro.exceptions import SecurityViolation
+
+
+@dataclass
+class SecurityReport:
+    """The auditor's verdict over one recorded workload."""
+
+    eq1_association_preserved: bool
+    eq2_frequency_preserved: bool
+    surviving_fraction: float
+    violations: List[str] = field(default_factory=list)
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def secure(self) -> bool:
+        return self.eq1_association_preserved and self.eq2_frequency_preserved
+
+    def raise_on_violation(self) -> None:
+        """Raise :class:`SecurityViolation` when the workload leaked."""
+        if not self.secure:
+            raise SecurityViolation("; ".join(self.violations) or "security violated")
+
+
+class PartitionedSecurityAuditor:
+    """Audit a view log against the partitioned-data-security definition."""
+
+    def __init__(
+        self,
+        num_non_sensitive_values: int,
+        layout: Optional[BinLayout] = None,
+        sensitive_counts: Optional[Dict[object, int]] = None,
+    ):
+        if num_non_sensitive_values < 0:
+            raise SecurityViolation("the number of non-sensitive values cannot be negative")
+        self.num_non_sensitive_values = num_non_sensitive_values
+        self.layout = layout
+        self.sensitive_counts = dict(sensitive_counts) if sensitive_counts else None
+
+    # -- condition (1): association probabilities -------------------------------
+    def _check_eq1(self, view_log: ViewLog, full_domain_queried: bool) -> Tuple[bool, List[str], float]:
+        violations: List[str] = []
+
+        kpa = kpa_association_attack(view_log, max(self.num_non_sensitive_values, 1))
+        if kpa.succeeded:
+            violations.append(
+                "a view narrowed an encrypted-to-cleartext association below the prior "
+                f"(posterior {kpa.details['best_posterior']:.3f} vs prior {kpa.details['prior']:.3f})"
+            )
+
+        surviving_fraction = 1.0
+        if self.layout is not None:
+            analysis = SurvivingMatchAnalysis.from_view_log(
+                view_log,
+                num_sensitive_bins=self.layout.num_sensitive_bins,
+                num_non_sensitive_bins=self.layout.num_non_sensitive_bins,
+            )
+            surviving_fraction = analysis.surviving_fraction()
+            if full_domain_queried and not analysis.is_complete():
+                dropped = analysis.dropped_pairs()
+                violations.append(
+                    f"{len(dropped)} surviving bin matches were dropped: {dropped[:10]}"
+                )
+        return not violations, violations, surviving_fraction
+
+    # -- condition (2): relative frequency probabilities -----------------------------
+    def _check_eq2(self, view_log: ViewLog) -> Tuple[bool, List[str]]:
+        violations: List[str] = []
+        if self.sensitive_counts is not None and len(set(self.sensitive_counts.values())) <= 1:
+            # Every sensitive value has the same multiplicity (e.g. the base
+            # case, where each value has exactly one tuple), so output sizes
+            # cannot reveal anything about *relative* frequencies: all the
+            # relationships are already known to be "=".
+            return True, violations
+        outcome = size_attack(view_log)
+        if outcome.succeeded:
+            violations.append(
+                "encrypted outputs had distinguishable sizes "
+                f"({outcome.details['distinct_output_sizes']}), revealing relative "
+                "frequencies of sensitive values"
+            )
+        return not violations, violations
+
+    # -- public API --------------------------------------------------------------------
+    def audit(
+        self, view_log: ViewLog, full_domain_queried: bool = False
+    ) -> SecurityReport:
+        """Audit a recorded workload.
+
+        Parameters
+        ----------
+        view_log:
+            The cloud's recorded adversarial views.
+        full_domain_queried:
+            Set to ``True`` when the workload covered every domain value; the
+            surviving-match completeness check is only meaningful then.
+        """
+        eq1_ok, eq1_violations, surviving = self._check_eq1(view_log, full_domain_queried)
+        eq2_ok, eq2_violations = self._check_eq2(view_log)
+        return SecurityReport(
+            eq1_association_preserved=eq1_ok,
+            eq2_frequency_preserved=eq2_ok,
+            surviving_fraction=surviving,
+            violations=eq1_violations + eq2_violations,
+            details={
+                "views_audited": len(view_log),
+                "full_domain_queried": full_domain_queried,
+            },
+        )

@@ -1,0 +1,149 @@
+"""Surviving-match analysis (the paper's correctness argument, §IV-A).
+
+Before any query, the adversary can only posit a complete bipartite graph
+between sensitive and non-sensitive values: every encrypted value might be
+associated with any cleartext value.  Query execution produces bin-level
+observations; the edges of the bin bipartite graph that remain *consistent*
+with the observations are the "surviving matches".  QB is secure precisely
+when, after answering queries for all values via Algorithm 2, every sensitive
+bin has been observed together with every non-sensitive bin — no surviving
+match is dropped, so the adversary's uncertainty is unchanged (Figure 4a).  A
+retrieval policy that skips Algorithm 2 drops matches (Figure 4b, Table V),
+which is the leak the analysis detects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import networkx as nx
+
+from repro.adversary.view import AdversarialView, ViewLog
+from repro.core.bins import BinLayout
+from repro.core.retrieval import BinRetriever
+
+
+@dataclass
+class SurvivingMatchAnalysis:
+    """Bin-level surviving-match bookkeeping built from adversarial views."""
+
+    num_sensitive_bins: int
+    num_non_sensitive_bins: int
+    observed_pairs: Set[Tuple[int, int]] = field(default_factory=set)
+
+    # -- construction ----------------------------------------------------------
+    @classmethod
+    def from_view_log(
+        cls,
+        view_log: ViewLog,
+        num_sensitive_bins: Optional[int] = None,
+        num_non_sensitive_bins: Optional[int] = None,
+    ) -> "SurvivingMatchAnalysis":
+        """Build the analysis from observed views.
+
+        When bin indexes are not annotated on the views, bins are identified
+        by grouping identical request signatures, exactly as a real adversary
+        would.
+        """
+        pairs: Set[Tuple[int, int]] = set()
+        sensitive_ids: Dict[Tuple[int, ...], int] = {}
+        non_sensitive_ids: Dict[Tuple[object, ...], int] = {}
+        for view in view_log:
+            if view.sensitive_bin_index is not None and view.non_sensitive_bin_index is not None:
+                pairs.add((view.sensitive_bin_index, view.non_sensitive_bin_index))
+                continue
+            sensitive_signature = tuple(sorted(view.returned_sensitive_rids))
+            non_sensitive_signature = tuple(sorted(map(repr, view.non_sensitive_request)))
+            sensitive_id = sensitive_ids.setdefault(sensitive_signature, len(sensitive_ids))
+            non_sensitive_id = non_sensitive_ids.setdefault(
+                non_sensitive_signature, len(non_sensitive_ids)
+            )
+            pairs.add((sensitive_id, non_sensitive_id))
+        return cls(
+            num_sensitive_bins=num_sensitive_bins
+            if num_sensitive_bins is not None
+            else (max((p[0] for p in pairs), default=-1) + 1),
+            num_non_sensitive_bins=num_non_sensitive_bins
+            if num_non_sensitive_bins is not None
+            else (max((p[1] for p in pairs), default=-1) + 1),
+            observed_pairs=pairs,
+        )
+
+    @classmethod
+    def from_layout(cls, layout: BinLayout) -> "SurvivingMatchAnalysis":
+        """The pairs Algorithm 2 *would* produce if every value were queried."""
+        retriever = BinRetriever(layout)
+        pairs = set(retriever.associated_bin_pairs())
+        return cls(
+            num_sensitive_bins=layout.num_sensitive_bins,
+            num_non_sensitive_bins=layout.num_non_sensitive_bins,
+            observed_pairs=pairs,
+        )
+
+    # -- the bipartite graphs ---------------------------------------------------
+    def bin_graph(self) -> nx.Graph:
+        """The bin-level surviving-match graph implied by the observations.
+
+        A sensitive bin node is connected to a non-sensitive bin node when the
+        observations *do not rule out* that one of the sensitive bin's values
+        is associated with one of the non-sensitive bin's values.  Following
+        the paper, matches survive when the pair was observed together — or
+        when one of the two bins was never observed at all (no information).
+        """
+        graph = nx.Graph()
+        sensitive_nodes = [f"SB{i}" for i in range(self.num_sensitive_bins)]
+        non_sensitive_nodes = [f"NSB{j}" for j in range(self.num_non_sensitive_bins)]
+        graph.add_nodes_from(sensitive_nodes, side="sensitive")
+        graph.add_nodes_from(non_sensitive_nodes, side="non-sensitive")
+
+        observed_sensitive = {pair[0] for pair in self.observed_pairs}
+        observed_non_sensitive = {pair[1] for pair in self.observed_pairs}
+        for i in range(self.num_sensitive_bins):
+            for j in range(self.num_non_sensitive_bins):
+                unobserved = i not in observed_sensitive or j not in observed_non_sensitive
+                if (i, j) in self.observed_pairs or unobserved:
+                    graph.add_edge(f"SB{i}", f"NSB{j}")
+        return graph
+
+    # -- verdicts -------------------------------------------------------------------
+    @property
+    def total_possible_pairs(self) -> int:
+        return self.num_sensitive_bins * self.num_non_sensitive_bins
+
+    def is_complete(self) -> bool:
+        """True when every (sensitive, non-sensitive) bin pair survives."""
+        graph = self.bin_graph()
+        expected_edges = self.total_possible_pairs
+        return graph.number_of_edges() == expected_edges
+
+    def dropped_pairs(self) -> List[Tuple[int, int]]:
+        """Bin pairs whose surviving match has been eliminated."""
+        graph = self.bin_graph()
+        dropped = []
+        for i in range(self.num_sensitive_bins):
+            for j in range(self.num_non_sensitive_bins):
+                if not graph.has_edge(f"SB{i}", f"NSB{j}"):
+                    dropped.append((i, j))
+        return dropped
+
+    def surviving_fraction(self) -> float:
+        """Fraction of bin pairs still surviving (1.0 means no leakage)."""
+        if self.total_possible_pairs == 0:
+            return 1.0
+        return 1.0 - len(self.dropped_pairs()) / self.total_possible_pairs
+
+    def value_level_ambiguity(self, values_per_non_sensitive_bin: int) -> int:
+        """Size of the candidate set for any encrypted value's cleartext partner.
+
+        With all matches surviving, an encrypted value could be associated
+        with any value of any non-sensitive bin it was retrieved with — i.e.
+        the whole non-sensitive domain — so the candidate set size equals
+        ``num_non_sensitive_bins * values_per_non_sensitive_bin``.
+        """
+        graph = self.bin_graph()
+        min_degree = min(
+            (graph.degree(f"SB{i}") for i in range(self.num_sensitive_bins)),
+            default=0,
+        )
+        return min_degree * values_per_non_sensitive_bin

@@ -1,0 +1,135 @@
+"""Adversarial views (``AV = Inc ∪ Opc`` in the paper's notation).
+
+Every query execution at the cloud produces an adversarial view: the request
+that arrived (cleartext non-sensitive values, plus the *number* of encrypted
+tokens — their content is opaque) and the outputs transmitted in response
+(cleartext non-sensitive rows, plus the addresses of the returned encrypted
+rows).  Table II, Table III, Table IV, and Table V of the paper are simply
+collections of such views; the attack and audit modules consume them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.relation import Row
+
+
+@dataclass(frozen=True)
+class AdversarialView:
+    """What the honest-but-curious cloud learns from one query execution.
+
+    Attributes
+    ----------
+    query_id:
+        Sequence number of the query (the adversary can order observations).
+    attribute:
+        The searched attribute (visible because the non-sensitive sub-query is
+        cleartext).
+    non_sensitive_request:
+        The cleartext values requested from ``Rns`` (``Wns``).
+    sensitive_request_size:
+        How many encrypted tokens were received for ``Rs`` (|Ws| as observed;
+        the tokens themselves are opaque).
+    returned_non_sensitive:
+        The cleartext rows returned from ``Rns``.
+    returned_sensitive_rids:
+        The addresses (rids) of the encrypted rows returned from ``Rs``.
+    sensitive_bin_index / non_sensitive_bin_index:
+        Bin identifiers *if* the adversary can infer them from repetition of
+        identical request sets; populated by the cloud for convenience of the
+        analysis code (the adversary could derive them itself by grouping
+        identical requests).
+    """
+
+    query_id: int
+    attribute: str
+    non_sensitive_request: Tuple[object, ...]
+    sensitive_request_size: int
+    returned_non_sensitive: Tuple[Row, ...]
+    returned_sensitive_rids: Tuple[int, ...]
+    sensitive_bin_index: Optional[int] = None
+    non_sensitive_bin_index: Optional[int] = None
+
+    @property
+    def non_sensitive_output_size(self) -> int:
+        return len(self.returned_non_sensitive)
+
+    @property
+    def sensitive_output_size(self) -> int:
+        return len(self.returned_sensitive_rids)
+
+    @property
+    def total_output_size(self) -> int:
+        return self.non_sensitive_output_size + self.sensitive_output_size
+
+    def request_signature(self) -> Tuple[Tuple[object, ...], Tuple[int, ...]]:
+        """A canonical signature of the observed request and encrypted output.
+
+        Two queries answered from the same pair of bins have the same
+        signature; grouping by signature is how the adversary reconstructs
+        bin-level structure.
+        """
+        return (
+            tuple(sorted(map(repr, self.non_sensitive_request))),
+            tuple(sorted(self.returned_sensitive_rids)),
+        )
+
+
+@dataclass
+class ViewLog:
+    """An append-only log of adversarial views with aggregate accessors."""
+
+    views: List[AdversarialView] = field(default_factory=list)
+
+    def append(self, view: AdversarialView) -> None:
+        self.views.append(view)
+
+    def __len__(self) -> int:
+        return len(self.views)
+
+    def __iter__(self):
+        return iter(self.views)
+
+    def clear(self) -> None:
+        self.views.clear()
+
+    # -- adversary-side aggregations --------------------------------------------
+    def output_sizes(self) -> List[int]:
+        """Total output size per query — the signal behind the size attack."""
+        return [view.total_output_size for view in self.views]
+
+    def sensitive_output_sizes(self) -> List[int]:
+        return [view.sensitive_output_size for view in self.views]
+
+    def request_frequency(self) -> Dict[Tuple[Tuple[object, ...], Tuple[int, ...]], int]:
+        """How often each request signature was observed (workload skew)."""
+        counts: Dict[Tuple[Tuple[object, ...], Tuple[int, ...]], int] = {}
+        for view in self.views:
+            signature = view.request_signature()
+            counts[signature] = counts.get(signature, 0) + 1
+        return counts
+
+    def observed_bin_pairs(self) -> List[Tuple[int, int]]:
+        """(sensitive bin, non-sensitive bin) pairs seen so far, when known."""
+        pairs = []
+        for view in self.views:
+            if view.sensitive_bin_index is None or view.non_sensitive_bin_index is None:
+                continue
+            pairs.append((view.sensitive_bin_index, view.non_sensitive_bin_index))
+        return pairs
+
+    def distinct_sensitive_rid_sets(self) -> List[Tuple[int, ...]]:
+        """Distinct encrypted-output address sets (proxies for sensitive bins)."""
+        seen: Dict[Tuple[int, ...], None] = {}
+        for view in self.views:
+            seen.setdefault(tuple(sorted(view.returned_sensitive_rids)), None)
+        return list(seen)
+
+    def distinct_non_sensitive_request_sets(self) -> List[Tuple[object, ...]]:
+        """Distinct cleartext request sets (proxies for non-sensitive bins)."""
+        seen: Dict[Tuple[object, ...], None] = {}
+        for view in self.views:
+            seen.setdefault(tuple(sorted(map(repr, view.non_sensitive_request))), None)
+        return list(seen)

@@ -1,0 +1,24 @@
+"""Baselines QB is compared against in the paper's evaluation.
+
+* :mod:`repro.baselines.full_encryption` — run the cryptographic technique
+  over the *entire* dataset (no sensitivity partitioning), the denominator of
+  the η ratio.
+* :mod:`repro.baselines.opaque_sim` — a cost-calibrated simulator of Opaque
+  (SGX-based oblivious scans), used by Table VI.
+* :mod:`repro.baselines.jana_sim` — a cost-calibrated simulator of Jana
+  (MPC-based query processing), used by Table VI.
+* :mod:`repro.baselines.cryptdb_sim` — a deterministic-encryption store in the
+  style of CryptDB's DET onion, the victim of the frequency-count attack.
+"""
+
+from repro.baselines.full_encryption import FullEncryptionBaseline
+from repro.baselines.opaque_sim import OpaqueSimulator
+from repro.baselines.jana_sim import JanaSimulator
+from repro.baselines.cryptdb_sim import DeterministicStoreBaseline
+
+__all__ = [
+    "FullEncryptionBaseline",
+    "OpaqueSimulator",
+    "JanaSimulator",
+    "DeterministicStoreBaseline",
+]

@@ -1,0 +1,214 @@
+"""Command-line interface for the reproduction.
+
+Four subcommands cover the things a user typically wants to run without
+writing code:
+
+* ``repro-qb demo`` — the Employee walk-through (partition, bin, query, audit);
+* ``repro-qb attacks`` — the attack battery against naive partitioning vs QB;
+* ``repro-qb eta`` — the analytical η model for chosen α / γ / ρ / |NS|;
+* ``repro-qb table6`` — the QB + Opaque / Jana cost table.
+
+The module is import-safe (no work at import time) and every subcommand is a
+plain function returning an exit code, so the test suite drives it directly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional, Sequence
+
+from repro.adversary.attacks import run_all_attacks
+from repro.baselines.jana_sim import JanaSimulator
+from repro.baselines.opaque_sim import OpaqueSimulator
+from repro.cloud.server import CloudServer
+from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.model.cost import break_even_alpha, eta_simplified
+from repro.model.parameters import CostParameters
+from repro.owner.db_owner import DBOwner
+from repro.workloads.employee import (
+    build_employee_relation,
+    employee_policy,
+    paper_example_queries,
+)
+from repro.workloads.generator import generate_partitioned_dataset
+from repro.workloads.queries import skewed_workload
+
+
+def _print(message: str, quiet: bool = False) -> None:
+    if not quiet:
+        print(message)
+
+
+# ---------------------------------------------------------------------------
+# subcommands
+# ---------------------------------------------------------------------------
+
+def run_demo(seed: int = 7, quiet: bool = False) -> int:
+    """The Employee walk-through (quickstart example, condensed)."""
+    owner = DBOwner(build_employee_relation(), employee_policy(), permutation_seed=seed)
+    engine = owner.outsource("EId")
+    _print("Bin layout:", quiet)
+    _print(engine.layout.describe(), quiet)
+    for value in paper_example_queries():
+        rows = owner.query("EId", value)
+        _print(f"  EId={value}: {len(rows)} row(s)", quiet)
+    domain = sorted(
+        set(owner.partition.sensitive.distinct_values("EId"))
+        | set(owner.partition.non_sensitive.distinct_values("EId"))
+    )
+    owner.execute_workload("EId", domain)
+    report = owner.audit("EId", full_domain_queried=True)
+    _print(f"partitioned data security: {'OK' if report.secure else 'VIOLATED'}", quiet)
+    return 0 if report.secure else 1
+
+
+def run_attacks(
+    num_values: int = 60,
+    num_queries: int = 200,
+    seed: int = 17,
+    quiet: bool = False,
+) -> int:
+    """Attack battery against naive partitioned execution and against QB."""
+    dataset = generate_partitioned_dataset(
+        num_values=num_values,
+        sensitivity_fraction=0.5,
+        association_fraction=0.5,
+        tuples_per_value=4,
+        skew_exponent=1.2,
+        seed=seed,
+    )
+    workload = skewed_workload(dataset.all_values, num_queries=num_queries, seed=seed)
+
+    def battery(engine) -> List:
+        engine.execute_workload(workload)
+        return run_all_attacks(
+            engine.cloud.view_log,
+            engine.cloud.stored_encrypted_rows,
+            num_non_sensitive_values=len(dataset.non_sensitive_counts),
+            true_counts=dataset.sensitive_counts,
+        )
+
+    naive = NaivePartitionedEngine(
+        partition=dataset.partition,
+        attribute=dataset.attribute,
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+    ).setup()
+    qb = QueryBinningEngine(
+        partition=dataset.partition,
+        attribute=dataset.attribute,
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(seed),
+    ).setup()
+
+    naive_outcomes = battery(naive)
+    qb_outcomes = battery(qb)
+    _print(f"{'attack':<18} {'without QB':<12} with QB", quiet)
+    for naive_outcome, qb_outcome in zip(naive_outcomes, qb_outcomes):
+        _print(
+            f"{naive_outcome.name:<18} "
+            f"{'succeeds' if naive_outcome.succeeded else 'fails':<12} "
+            f"{'succeeds' if qb_outcome.succeeded else 'fails'}",
+            quiet,
+        )
+    return 0 if not any(o.succeeded for o in qb_outcomes) else 1
+
+
+def run_eta(
+    alpha: float,
+    gamma: float = 25_000.0,
+    rho: float = 0.01,
+    num_non_sensitive_values: int = 100_000,
+    quiet: bool = False,
+) -> int:
+    """Evaluate the analytical model for one parameter point."""
+    params = CostParameters.from_ratios(gamma=gamma, selectivity=rho)
+    width = max(1, round(num_non_sensitive_values**0.5))
+    eta = eta_simplified(alpha, width, width, params)
+    breakeven = break_even_alpha(num_non_sensitive_values, params)
+    _print(
+        f"eta = {eta:.4f} (alpha={alpha}, gamma={gamma:.0f}, rho={rho}, "
+        f"|SB|=|NSB|={width}); QB wins while alpha < {breakeven:.4f}",
+        quiet,
+    )
+    return 0 if eta < 1.0 else 1
+
+
+def run_table6(quiet: bool = False) -> int:
+    """Print the Table VI simulation (QB + Opaque / Jana)."""
+    sensitivities = (0.01, 0.05, 0.2, 0.4, 0.6)
+    opaque = OpaqueSimulator().table6_row(sensitivities)
+    jana = JanaSimulator().table6_row(sensitivities)
+    header = "technique            " + "".join(f"{alpha:>8.0%}" for alpha in sensitivities)
+    _print(header, quiet)
+    _print(
+        "Opaque + QB          " + "".join(f"{opaque[a]:>8.0f}" for a in sensitivities),
+        quiet,
+    )
+    _print(
+        "Jana + QB            " + "".join(f"{jana[a]:>8.0f}" for a in sensitivities),
+        quiet,
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------------
+# argument parsing
+# ---------------------------------------------------------------------------
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-qb",
+        description="Query Binning (ICDE 2019) reproduction command-line interface",
+    )
+    parser.add_argument("--quiet", action="store_true", help="suppress output")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    demo = subparsers.add_parser("demo", help="Employee example walk-through")
+    demo.add_argument("--seed", type=int, default=7)
+
+    attacks = subparsers.add_parser("attacks", help="attack battery, naive vs QB")
+    attacks.add_argument("--values", type=int, default=60)
+    attacks.add_argument("--queries", type=int, default=200)
+    attacks.add_argument("--seed", type=int, default=17)
+
+    eta = subparsers.add_parser("eta", help="analytical eta for one parameter point")
+    eta.add_argument("--alpha", type=float, required=True)
+    eta.add_argument("--gamma", type=float, default=25_000.0)
+    eta.add_argument("--rho", type=float, default=0.01)
+    eta.add_argument("--non-sensitive-values", type=int, default=100_000)
+
+    subparsers.add_parser("table6", help="QB + Opaque / Jana cost table")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "demo":
+        return run_demo(seed=args.seed, quiet=args.quiet)
+    if args.command == "attacks":
+        return run_attacks(
+            num_values=args.values,
+            num_queries=args.queries,
+            seed=args.seed,
+            quiet=args.quiet,
+        )
+    if args.command == "eta":
+        return run_eta(
+            alpha=args.alpha,
+            gamma=args.gamma,
+            rho=args.rho,
+            num_non_sensitive_values=args.non_sensitive_values,
+            quiet=args.quiet,
+        )
+    if args.command == "table6":
+        return run_table6(quiet=args.quiet)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,21 @@
+"""The untrusted public cloud substrate.
+
+The cloud stores the cleartext non-sensitive relation and the encrypted
+sensitive relation, answers selection requests on both, and — because it is
+honest-but-curious — records everything it observes as adversarial views.
+"""
+
+from repro.cloud.indexes import HashIndex, SortedIndex
+from repro.cloud.network import NetworkModel, TransferLog
+from repro.cloud.server import CloudServer, QueryResponse
+from repro.cloud.multi_cloud import MultiCloud
+
+__all__ = [
+    "HashIndex",
+    "SortedIndex",
+    "NetworkModel",
+    "TransferLog",
+    "CloudServer",
+    "QueryResponse",
+    "MultiCloud",
+]

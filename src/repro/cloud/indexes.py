@@ -1,0 +1,122 @@
+"""Cloud-side indexes over cleartext relations.
+
+The non-sensitive relation is stored in plaintext, so the cloud can maintain
+ordinary database indexes on it.  Two flavours are provided:
+
+* :class:`HashIndex` — exact-match lookups (the common case for QB's
+  ``IN``-expanded selection queries);
+* :class:`SortedIndex` — a sorted-array index supporting equality and range
+  probes, standing in for a B+-tree.
+
+Both indexes count the probes they serve so the experiment harness can report
+index work alongside wall-clock time.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from collections import defaultdict
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.data.relation import Relation, Row
+from repro.exceptions import UnknownAttributeError
+
+
+class HashIndex:
+    """A hash index from attribute value to the rows holding it."""
+
+    def __init__(self, relation: Relation, attribute: str):
+        relation.schema[attribute]
+        self.attribute = attribute
+        self.relation_name = relation.name
+        self._buckets: Dict[object, List[Row]] = defaultdict(list)
+        for row in relation:
+            self._buckets[row[attribute]].append(row)
+        self.probe_count = 0
+
+    def lookup(self, value: object) -> List[Row]:
+        """Rows whose indexed attribute equals ``value``."""
+        self.probe_count += 1
+        return list(self._buckets.get(value, ()))
+
+    def lookup_many(self, values: Iterable[object]) -> List[Row]:
+        """Union of lookups for several values (bin-expanded queries)."""
+        results: List[Row] = []
+        for value in values:
+            results.extend(self.lookup(value))
+        return results
+
+    def add_row(self, row: Row) -> None:
+        """Maintain the index after an insert."""
+        self._buckets[row[self.attribute]].append(row)
+
+    def distinct_count(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return sum(len(bucket) for bucket in self._buckets.values())
+
+
+class SortedIndex:
+    """A sorted-array index supporting equality and range probes."""
+
+    def __init__(self, relation: Relation, attribute: str):
+        relation.schema[attribute]
+        self.attribute = attribute
+        self.relation_name = relation.name
+        pairs = sorted(
+            ((row[attribute], row) for row in relation), key=lambda pair: pair[0]
+        )
+        self._keys: List[object] = [key for key, _ in pairs]
+        self._rows: List[Row] = [row for _, row in pairs]
+        self.probe_count = 0
+
+    def lookup(self, value: object) -> List[Row]:
+        """Equality probe by binary search."""
+        self.probe_count += 1
+        lo = bisect_left(self._keys, value)
+        hi = bisect_right(self._keys, value)
+        return self._rows[lo:hi]
+
+    def lookup_many(self, values: Iterable[object]) -> List[Row]:
+        results: List[Row] = []
+        for value in values:
+            results.extend(self.lookup(value))
+        return results
+
+    def range(
+        self,
+        low: Optional[object] = None,
+        high: Optional[object] = None,
+        include_low: bool = True,
+        include_high: bool = True,
+    ) -> List[Row]:
+        """Rows whose indexed value lies in the requested interval."""
+        self.probe_count += 1
+        lo = 0
+        hi = len(self._keys)
+        if low is not None:
+            lo = bisect_left(self._keys, low) if include_low else bisect_right(self._keys, low)
+        if high is not None:
+            hi = bisect_right(self._keys, high) if include_high else bisect_left(self._keys, high)
+        return self._rows[lo:hi]
+
+    def add_row(self, row: Row) -> None:
+        """Maintain the index after an insert (O(n) array insert)."""
+        key = row[self.attribute]
+        position = bisect_right(self._keys, key)
+        self._keys.insert(position, key)
+        self._rows.insert(position, row)
+
+    def min_key(self) -> object:
+        if not self._keys:
+            raise UnknownAttributeError("index is empty")
+        return self._keys[0]
+
+    def max_key(self) -> object:
+        if not self._keys:
+            raise UnknownAttributeError("index is empty")
+        return self._keys[-1]
+
+    def __len__(self) -> int:
+        return len(self._rows)

@@ -1,0 +1,86 @@
+"""Multiple non-colluding clouds.
+
+Secret-sharing and DPF techniques assume ``k`` servers that do not collude.
+:class:`MultiCloud` is a thin container of :class:`CloudServer` instances with
+helpers to broadcast outsourcing and to fan a request out to every server;
+each member server still records its own adversarial view, which lets tests
+confirm that no *single* server learns the query value.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cloud.network import NetworkModel
+from repro.cloud.server import CloudServer, QueryResponse
+from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
+from repro.data.relation import Relation
+from repro.exceptions import CloudError
+
+
+class MultiCloud:
+    """A fixed set of non-colluding cloud servers."""
+
+    def __init__(self, count: int = 2, network_factory: Optional[Callable[[], NetworkModel]] = None):
+        if count < 2:
+            raise CloudError("a multi-cloud deployment needs at least 2 servers")
+        factory = network_factory or NetworkModel
+        self.servers: List[CloudServer] = [
+            CloudServer(name=f"cloud-{index}", network=factory())
+            for index in range(count)
+        ]
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __getitem__(self, index: int) -> CloudServer:
+        return self.servers[index]
+
+    # -- outsourcing --------------------------------------------------------------
+    def broadcast_non_sensitive(self, relation: Relation) -> None:
+        """Store the cleartext relation on every server (it is public anyway)."""
+        for server in self.servers:
+            server.store_non_sensitive(relation)
+
+    def distribute_sensitive(
+        self,
+        per_server_rows: Sequence[Sequence[EncryptedRow]],
+        scheme: EncryptedSearchScheme,
+    ) -> None:
+        """Give each server its own shares/ciphertexts of the sensitive data."""
+        if len(per_server_rows) != len(self.servers):
+            raise CloudError(
+                f"expected {len(self.servers)} row groups, got {len(per_server_rows)}"
+            )
+        for server, rows in zip(self.servers, per_server_rows):
+            server.store_sensitive(rows, scheme)
+
+    # -- querying --------------------------------------------------------------------
+    def fan_out(
+        self,
+        attribute: str,
+        cleartext_values: Sequence[object],
+        per_server_tokens: Sequence[Sequence[SearchToken]],
+    ) -> List[QueryResponse]:
+        """Send (possibly different) token sets to each server.
+
+        The cleartext half of the request is only sent to the first server to
+        avoid double-charging communication for public data.
+        """
+        if len(per_server_tokens) != len(self.servers):
+            raise CloudError(
+                f"expected {len(self.servers)} token groups, got {len(per_server_tokens)}"
+            )
+        responses = []
+        for position, (server, tokens) in enumerate(zip(self.servers, per_server_tokens)):
+            values = cleartext_values if position == 0 else ()
+            responses.append(server.process_request(attribute, values, tokens))
+        return responses
+
+    # -- adversarial analysis -----------------------------------------------------------
+    def single_server_view_sizes(self) -> Dict[str, int]:
+        """Number of views each individual server has accumulated."""
+        return {server.name: len(server.view_log) for server in self.servers}
+
+    def total_transfer_seconds(self) -> float:
+        return sum(server.network.total_seconds() for server in self.servers)

@@ -1,0 +1,100 @@
+"""Network transfer cost model between the DB owner and the cloud.
+
+The paper's testbed used a ~30 Mbps downlink; the analytical model only needs
+the per-tuple transfer cost ``Ccom`` (≈ 4 µs for a 200-byte TPC-H Customer
+row at that bandwidth).  :class:`NetworkModel` converts tuple and byte counts
+into simulated seconds and keeps a transfer log so experiments can report the
+communication component of QB's trade-off separately from computation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class TransferLog:
+    """One logical transfer between the owner and the cloud."""
+
+    direction: str  # "upload" or "download"
+    description: str
+    tuples: int
+    bytes_transferred: int
+    seconds: float
+
+
+@dataclass
+class NetworkModel:
+    """Deterministic latency/bandwidth model.
+
+    Parameters
+    ----------
+    bandwidth_mbps:
+        Link bandwidth in megabits per second (paper: 30 Mbps).
+    latency_seconds:
+        Per-request round-trip latency added to every transfer.
+    bytes_per_tuple:
+        Average serialised tuple size (paper: ≈200 bytes for TPC-H Customer).
+    """
+
+    bandwidth_mbps: float = 30.0
+    latency_seconds: float = 0.0005
+    bytes_per_tuple: int = 200
+    log: List[TransferLog] = field(default_factory=list)
+
+    @property
+    def seconds_per_tuple(self) -> float:
+        """``Ccom`` — the time to move one tuple over the link."""
+        bits_per_tuple = self.bytes_per_tuple * 8
+        return bits_per_tuple / (self.bandwidth_mbps * 1_000_000)
+
+    def transfer_seconds(self, tuples: int, extra_bytes: int = 0) -> float:
+        """Simulated seconds to transfer ``tuples`` rows plus ``extra_bytes``."""
+        payload_bits = (tuples * self.bytes_per_tuple + extra_bytes) * 8
+        return self.latency_seconds + payload_bits / (self.bandwidth_mbps * 1_000_000)
+
+    def record(
+        self,
+        direction: str,
+        description: str,
+        tuples: int,
+        extra_bytes: int = 0,
+    ) -> float:
+        """Log a transfer and return its simulated duration in seconds."""
+        seconds = self.transfer_seconds(tuples, extra_bytes)
+        self.log.append(
+            TransferLog(
+                direction=direction,
+                description=description,
+                tuples=tuples,
+                bytes_transferred=tuples * self.bytes_per_tuple + extra_bytes,
+                seconds=seconds,
+            )
+        )
+        return seconds
+
+    # -- aggregate accounting ----------------------------------------------------
+    def total_seconds(self, direction: Optional[str] = None) -> float:
+        return sum(
+            entry.seconds
+            for entry in self.log
+            if direction is None or entry.direction == direction
+        )
+
+    def total_tuples(self, direction: Optional[str] = None) -> int:
+        return sum(
+            entry.tuples
+            for entry in self.log
+            if direction is None or entry.direction == direction
+        )
+
+    def total_bytes(self, direction: Optional[str] = None) -> int:
+        return sum(
+            entry.bytes_transferred
+            for entry in self.log
+            if direction is None or entry.direction == direction
+        )
+
+    def reset(self) -> None:
+        self.log.clear()

@@ -1,0 +1,230 @@
+"""The untrusted public cloud server.
+
+A :class:`CloudServer` stores the cleartext non-sensitive relation (with
+hash indexes over its searchable attributes) and the encrypted sensitive
+relation (whatever the chosen :class:`~repro.crypto.base.EncryptedSearchScheme`
+produced).  It answers the two halves of a partitioned query and, being
+honest-but-curious, faithfully records an :class:`AdversarialView` for every
+request it serves.
+
+The server also keeps simple operation counters (rows scanned, index probes,
+tuples shipped) which the benchmark harness converts into simulated times via
+the cost model, so experiments do not depend on wall-clock noise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adversary.view import AdversarialView, ViewLog
+from repro.cloud.indexes import HashIndex
+from repro.cloud.network import NetworkModel
+from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
+from repro.data.relation import Relation, Row
+from repro.exceptions import CloudError
+
+
+@dataclass
+class QueryResponse:
+    """What the cloud ships back to the DB owner for one binned query."""
+
+    non_sensitive_rows: List[Row]
+    encrypted_rows: List[EncryptedRow]
+    non_sensitive_scanned: int
+    sensitive_scanned: int
+    transfer_seconds: float = 0.0
+
+    @property
+    def total_returned(self) -> int:
+        return len(self.non_sensitive_rows) + len(self.encrypted_rows)
+
+
+@dataclass
+class CloudStatistics:
+    """Cumulative work counters for the cloud (feeds the cost model)."""
+
+    queries_served: int = 0
+    non_sensitive_rows_returned: int = 0
+    sensitive_rows_returned: int = 0
+    non_sensitive_probes: int = 0
+    sensitive_tokens_processed: int = 0
+
+
+class CloudServer:
+    """An honest-but-curious cloud hosting one partitioned relation."""
+
+    def __init__(
+        self,
+        name: str = "public-cloud",
+        network: Optional[NetworkModel] = None,
+        use_indexes: bool = True,
+    ):
+        self.name = name
+        self.network = network or NetworkModel()
+        self.use_indexes = use_indexes
+        self._non_sensitive: Optional[Relation] = None
+        self._indexes: Dict[str, HashIndex] = {}
+        self._encrypted_rows: List[EncryptedRow] = []
+        self._scheme: Optional[EncryptedSearchScheme] = None
+        self.view_log = ViewLog()
+        self.stats = CloudStatistics()
+        self._query_counter = itertools.count()
+
+    # -- outsourcing -------------------------------------------------------------
+    def store_non_sensitive(self, relation: Relation) -> None:
+        """Receive the cleartext non-sensitive relation from the owner."""
+        self._non_sensitive = relation
+        self._indexes.clear()
+        self.network.record(
+            "upload", f"outsource {relation.name} (cleartext)", len(relation)
+        )
+
+    def store_sensitive(
+        self, encrypted_rows: Sequence[EncryptedRow], scheme: EncryptedSearchScheme
+    ) -> None:
+        """Receive the encrypted sensitive rows and the scheme's cloud logic.
+
+        Only the scheme's *cloud-side* behaviour (``search``) is exercised by
+        the server; the owner keeps the keys.
+        """
+        self._encrypted_rows = list(encrypted_rows)
+        self._scheme = scheme
+        self.network.record(
+            "upload", "outsource sensitive relation (encrypted)", len(encrypted_rows)
+        )
+
+    def append_sensitive(self, encrypted_rows: Sequence[EncryptedRow]) -> None:
+        """Receive additional encrypted rows (inserts, fake-tuple padding)."""
+        self._encrypted_rows.extend(encrypted_rows)
+        self.network.record("upload", "append sensitive rows", len(encrypted_rows))
+
+    def append_non_sensitive(self, rows: Iterable[Dict[str, object]]) -> int:
+        """Receive additional cleartext rows (inserts); returns count added."""
+        if self._non_sensitive is None:
+            raise CloudError("no non-sensitive relation outsourced yet")
+        added = 0
+        for values in rows:
+            row = self._non_sensitive.insert(values, sensitive=False, validate=False)
+            for index in self._indexes.values():
+                index.add_row(row)
+            added += 1
+        self.network.record("upload", "append non-sensitive rows", added)
+        return added
+
+    def register_non_sensitive_row(self, row: Row) -> None:
+        """Account for a cleartext row already present in the stored relation.
+
+        Used when the owner inserts directly into the (shared) relation object
+        and the cloud only needs to refresh its indexes and transfer log.
+        """
+        if self._non_sensitive is None:
+            raise CloudError("no non-sensitive relation outsourced yet")
+        if row.rid not in self._non_sensitive:
+            raise CloudError(f"row {row.rid} is not part of the stored relation")
+        for index in self._indexes.values():
+            index.add_row(row)
+        self.network.record("upload", "append non-sensitive row", 1)
+
+    def build_index(self, attribute: str) -> None:
+        """Build a hash index over the cleartext relation for ``attribute``."""
+        if self._non_sensitive is None:
+            raise CloudError("no non-sensitive relation outsourced yet")
+        self._indexes[attribute] = HashIndex(self._non_sensitive, attribute)
+
+    # -- introspection --------------------------------------------------------------
+    @property
+    def non_sensitive_relation(self) -> Relation:
+        if self._non_sensitive is None:
+            raise CloudError("no non-sensitive relation outsourced yet")
+        return self._non_sensitive
+
+    @property
+    def encrypted_row_count(self) -> int:
+        return len(self._encrypted_rows)
+
+    @property
+    def stored_encrypted_rows(self) -> Tuple[EncryptedRow, ...]:
+        return tuple(self._encrypted_rows)
+
+    # -- query processing --------------------------------------------------------
+    def _select_non_sensitive(self, attribute: str, values: Sequence[object]) -> List[Row]:
+        relation = self.non_sensitive_relation
+        if self.use_indexes:
+            if attribute not in self._indexes:
+                self.build_index(attribute)
+            index = self._indexes[attribute]
+            rows = index.lookup_many(values)
+            self.stats.non_sensitive_probes += len(values)
+            return rows
+        self.stats.non_sensitive_probes += len(values)
+        return relation.select_in(attribute, values)
+
+    def process_request(
+        self,
+        attribute: str,
+        cleartext_values: Sequence[object],
+        tokens: Sequence[SearchToken],
+        sensitive_bin_index: Optional[int] = None,
+        non_sensitive_bin_index: Optional[int] = None,
+    ) -> QueryResponse:
+        """Serve one partitioned request (both halves) and log the view.
+
+        Parameters mirror what actually travels over the wire: the cleartext
+        values of the non-sensitive bin and the opaque tokens of the sensitive
+        bin.  Bin indexes are accepted purely to annotate the recorded view
+        for later analysis; the adversary could recover them by grouping
+        identical requests.
+        """
+        query_id = next(self._query_counter)
+
+        non_sensitive_rows = (
+            self._select_non_sensitive(attribute, cleartext_values)
+            if cleartext_values
+            else []
+        )
+
+        encrypted_matches: List[EncryptedRow] = []
+        if tokens:
+            if self._scheme is None:
+                raise CloudError("no sensitive relation outsourced yet")
+            encrypted_matches = self._scheme.search(self._encrypted_rows, tokens)
+            self.stats.sensitive_tokens_processed += len(tokens)
+
+        transfer_seconds = self.network.record(
+            "download",
+            f"query {query_id} results",
+            len(non_sensitive_rows) + len(encrypted_matches),
+        )
+
+        self.stats.queries_served += 1
+        self.stats.non_sensitive_rows_returned += len(non_sensitive_rows)
+        self.stats.sensitive_rows_returned += len(encrypted_matches)
+
+        self.view_log.append(
+            AdversarialView(
+                query_id=query_id,
+                attribute=attribute,
+                non_sensitive_request=tuple(cleartext_values),
+                sensitive_request_size=len(tokens),
+                returned_non_sensitive=tuple(non_sensitive_rows),
+                returned_sensitive_rids=tuple(row.rid for row in encrypted_matches),
+                sensitive_bin_index=sensitive_bin_index,
+                non_sensitive_bin_index=non_sensitive_bin_index,
+            )
+        )
+
+        return QueryResponse(
+            non_sensitive_rows=non_sensitive_rows,
+            encrypted_rows=encrypted_matches,
+            non_sensitive_scanned=len(cleartext_values),
+            sensitive_scanned=len(self._encrypted_rows) if tokens else 0,
+            transfer_seconds=transfer_seconds,
+        )
+
+    def reset_observations(self) -> None:
+        """Clear adversarial views and counters (between experiments)."""
+        self.view_log.clear()
+        self.stats = CloudStatistics()
+        self.network.reset()

@@ -1,0 +1,53 @@
+"""Query Binning (QB) — the paper's primary contribution.
+
+The package is organised around the two steps of QB:
+
+1. **Bin creation** (done once per searchable attribute, before any query):
+   :mod:`repro.core.binning` implements Algorithm 1 (the base case and the
+   nearest-square extension) and :mod:`repro.core.general_binning` implements
+   the §IV-B general case where values have different tuple multiplicities and
+   fake encrypted tuples equalise bin sizes.
+
+2. **Bin retrieval** (per query): :mod:`repro.core.retrieval` implements
+   Algorithm 2's rules R1/R2, and :mod:`repro.core.engine` ties the owner, the
+   chosen cryptographic scheme, and the cloud together into an end-to-end
+   query path (outsource → rewrite → execute → decrypt → merge).
+"""
+
+from repro.core.factors import approx_square_factors, factor_candidates, nearest_square
+from repro.core.bins import Bin, BinLayout
+from repro.core.binning import (
+    create_bins,
+    create_bins_with_layout_choice,
+    layout_covers_all_bin_pairs,
+)
+from repro.core.general_binning import GeneralBinningResult, create_general_bins
+from repro.core.retrieval import BinRetriever, RetrievalDecision
+from repro.core.metadata import OwnerMetadata
+from repro.core.planner import BinningPlan, plan_binning
+from repro.core.engine import (
+    ExecutionTrace,
+    NaivePartitionedEngine,
+    QueryBinningEngine,
+)
+
+__all__ = [
+    "approx_square_factors",
+    "factor_candidates",
+    "nearest_square",
+    "Bin",
+    "BinLayout",
+    "create_bins",
+    "create_bins_with_layout_choice",
+    "layout_covers_all_bin_pairs",
+    "GeneralBinningResult",
+    "create_general_bins",
+    "BinRetriever",
+    "RetrievalDecision",
+    "OwnerMetadata",
+    "BinningPlan",
+    "plan_binning",
+    "ExecutionTrace",
+    "NaivePartitionedEngine",
+    "QueryBinningEngine",
+]

@@ -1,0 +1,326 @@
+"""Algorithm 1 — bin creation for the base case (§IV-A).
+
+The base case assumes the association between sensitive and non-sensitive
+values is at most 1:1: a value may have a sensitive tuple, a non-sensitive
+tuple, or one of each, but never two tuples on the same side.  Bin creation
+then proceeds in three steps:
+
+1. factor ``|NS|`` into approximately square factors ``x ≥ y`` (or use the
+   nearest-square layout when that is cheaper — the "simple extension");
+2. secretly permute the sensitive values and deal them round-robin into the
+   ``x`` sensitive bins;
+3. place every *associated* non-sensitive value at the transposed position
+   (the ``j``-th value of sensitive bin ``i`` sends its partner to position
+   ``i`` of non-sensitive bin ``j``) and fill the remaining non-sensitive
+   values into the remaining slots.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.bins import Bin, BinLayout
+from repro.core.factors import approx_square_factors, factor_candidates
+from repro.crypto.primitives import SecretKey, keyed_permutation
+from repro.exceptions import BinningError
+
+
+def create_bins(
+    sensitive_values: Sequence[object],
+    non_sensitive_values: Sequence[object],
+    num_sensitive_bins: Optional[int] = None,
+    num_non_sensitive_bins: Optional[int] = None,
+    permutation_key: Optional[SecretKey] = None,
+    rng: Optional[random.Random] = None,
+    attribute: Optional[str] = None,
+) -> BinLayout:
+    """Create the QB bins for the base case.
+
+    Parameters
+    ----------
+    sensitive_values / non_sensitive_values:
+        The *distinct* values appearing in the sensitive / non-sensitive
+        partition of the searchable attribute.  Values appearing on both
+        sides are the "associated" values.
+    num_sensitive_bins / num_non_sensitive_bins:
+        Optional explicit layout; when omitted, the approximately-square
+        factorisation of ``|NS|`` is used (Algorithm 1 lines 3-4).
+    permutation_key:
+        Key for the secret permutation of sensitive values (Algorithm 1
+        line 2).  When ``None`` and ``rng`` is also ``None``, a fresh random
+        key is generated.
+    rng:
+        Alternative to ``permutation_key`` for deterministic tests: a
+        ``random.Random`` used to shuffle the sensitive values.
+    attribute:
+        Optional attribute name recorded on the layout.
+    """
+    sensitive = _deduplicate(sensitive_values)
+    non_sensitive = _deduplicate(non_sensitive_values)
+    if not non_sensitive and not sensitive:
+        raise BinningError("cannot build bins with no values at all")
+    if not non_sensitive:
+        # Degenerate case: everything is sensitive.  A single non-sensitive
+        # "bin" with no values keeps the retrieval machinery uniform.
+        non_sensitive = []
+
+    x, z = _resolve_layout(
+        len(sensitive), len(non_sensitive), num_sensitive_bins, num_non_sensitive_bins
+    )
+
+    permuted_sensitive = _permute(sensitive, permutation_key, rng)
+
+    sensitive_bins = [Bin(index=i) for i in range(x)]
+    for position, value in enumerate(permuted_sensitive):
+        sensitive_bins[position % x].append(value)
+
+    non_sensitive_bins = place_non_sensitive_values(
+        sensitive_bins, non_sensitive, num_non_sensitive_bins=z, slot_limit=x
+    )
+
+    layout = BinLayout(
+        sensitive_bins=sensitive_bins,
+        non_sensitive_bins=non_sensitive_bins,
+        attribute=attribute,
+    )
+    layout.validate()
+    return layout
+
+
+def layout_covers_all_bin_pairs(layout: BinLayout) -> bool:
+    """Check the all-pairs surviving-match property of a layout.
+
+    A pair (sensitive bin ``i``, non-sensitive bin ``j``) is *covered* when
+    some query retrieves exactly those two bins: rule R1 does so when the
+    sensitive bin has a value at slot ``j``; rule R2 when the non-sensitive
+    bin has a value at slot ``i``.  Pairs involving an empty bin are ignored
+    (an empty bin holds no tuples and never appears in an adversarial view).
+    """
+    for i, sensitive_bin in enumerate(layout.sensitive_bins):
+        if sensitive_bin.size == 0:
+            continue
+        for j, non_sensitive_bin in enumerate(layout.non_sensitive_bins):
+            if non_sensitive_bin.size == 0:
+                continue
+            covered_r1 = (
+                j < len(sensitive_bin.slots) and sensitive_bin.slots[j] is not None
+            )
+            covered_r2 = (
+                i < len(non_sensitive_bin.slots)
+                and non_sensitive_bin.slots[i] is not None
+            )
+            if not (covered_r1 or covered_r2):
+                return False
+    return True
+
+
+def create_bins_with_layout_choice(
+    sensitive_values: Sequence[object],
+    non_sensitive_values: Sequence[object],
+    permutation_key: Optional[SecretKey] = None,
+    rng: Optional[random.Random] = None,
+    attribute: Optional[str] = None,
+) -> BinLayout:
+    """Build bins with the cheapest *secure* layout (the "simple extension").
+
+    Both the exact approximately-square factorisation and the nearest-square
+    layout are constructed; candidates are tried in order of per-query
+    retrieval width (``|SB| + |NSB|`` values), and the first one that keeps
+    the all-pairs surviving-match property wins.  The exact factorisation is
+    always such a layout (every non-sensitive bin is completely full), so the
+    search always succeeds.
+    """
+    sensitive = _deduplicate(sensitive_values)
+    non_sensitive = _deduplicate(non_sensitive_values)
+    candidates = factor_candidates(max(len(non_sensitive), 1), len(sensitive))
+    scored: List[Tuple[int, Tuple[int, int]]] = []
+    for sensitive_bins, non_sensitive_bins in candidates:
+        sensitive_width = math.ceil(len(sensitive) / sensitive_bins) if sensitive else 0
+        non_sensitive_width = math.ceil(len(non_sensitive) / non_sensitive_bins) if non_sensitive else 0
+        scored.append((sensitive_width + non_sensitive_width, (sensitive_bins, non_sensitive_bins)))
+    scored.sort(key=lambda item: item[0])
+
+    fallback: Optional[BinLayout] = None
+    for _cost, (chosen_sensitive_bins, chosen_non_sensitive_bins) in scored:
+        layout = create_bins(
+            sensitive,
+            non_sensitive,
+            num_sensitive_bins=chosen_sensitive_bins,
+            num_non_sensitive_bins=chosen_non_sensitive_bins,
+            permutation_key=permutation_key,
+            rng=rng,
+            attribute=attribute,
+        )
+        if layout_covers_all_bin_pairs(layout):
+            return layout
+        if fallback is None:
+            fallback = layout
+    assert fallback is not None  # factor_candidates never returns an empty list
+    return fallback
+
+
+def place_non_sensitive_values(
+    sensitive_bins: Sequence[Bin],
+    non_sensitive_values: Sequence[object],
+    num_non_sensitive_bins: int,
+    slot_limit: int,
+) -> List[Bin]:
+    """Place non-sensitive values given already-built sensitive bins.
+
+    Implements Algorithm 1 lines 6-7: associated values go to the transposed
+    slot (value at position ``j`` of sensitive bin ``i`` → position ``i`` of
+    non-sensitive bin ``j``), then the non-associated values fill the free
+    slots, with every non-sensitive bin capped at ``slot_limit`` values.
+
+    The same routine serves the general case (§IV-B), which only changes how
+    the *sensitive* bins are packed.
+    """
+    non_sensitive_bins = [Bin(index=j) for j in range(num_non_sensitive_bins)]
+    non_sensitive_set = set(non_sensitive_values)
+    placed: set = set()
+
+    for bin_ in sensitive_bins:
+        for position, value in enumerate(bin_.slots):
+            if value is None or value not in non_sensitive_set:
+                continue
+            if position >= num_non_sensitive_bins:
+                raise BinningError(
+                    f"layout too small: sensitive bin {bin_.index} has a value at "
+                    f"position {position} but only {num_non_sensitive_bins} "
+                    f"non-sensitive bins exist"
+                )
+            non_sensitive_bins[position].place(bin_.index, value)
+            placed.add(value)
+
+    leftovers = [value for value in non_sensitive_values if value not in placed]
+    _fill_leftovers(
+        non_sensitive_bins, leftovers, slot_limit=slot_limit, sensitive_bins=sensitive_bins
+    )
+    return non_sensitive_bins
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _deduplicate(values: Iterable[object]) -> List[object]:
+    seen: Dict[object, None] = {}
+    for value in values:
+        seen.setdefault(value, None)
+    return list(seen)
+
+
+def _permute(
+    values: Sequence[object],
+    permutation_key: Optional[SecretKey],
+    rng: Optional[random.Random],
+) -> List[object]:
+    if rng is not None:
+        shuffled = list(values)
+        rng.shuffle(shuffled)
+        return shuffled
+    key = permutation_key or SecretKey.generate()
+    return list(keyed_permutation(values, key))
+
+
+def _resolve_layout(
+    num_sensitive: int,
+    num_non_sensitive: int,
+    num_sensitive_bins: Optional[int],
+    num_non_sensitive_bins: Optional[int],
+) -> Tuple[int, int]:
+    """Determine (number of sensitive bins, number of non-sensitive bins)."""
+    if num_sensitive_bins is not None and num_sensitive_bins < 1:
+        raise BinningError("num_sensitive_bins must be positive")
+    if num_non_sensitive_bins is not None and num_non_sensitive_bins < 1:
+        raise BinningError("num_non_sensitive_bins must be positive")
+
+    if num_sensitive_bins is None and num_non_sensitive_bins is None:
+        basis = max(num_non_sensitive, 1)
+        x, _y = approx_square_factors(basis)
+        z = max(1, math.ceil(basis / x))
+    elif num_sensitive_bins is not None and num_non_sensitive_bins is None:
+        x = num_sensitive_bins
+        z = max(1, math.ceil(max(num_non_sensitive, 1) / x))
+    elif num_sensitive_bins is None and num_non_sensitive_bins is not None:
+        z = num_non_sensitive_bins
+        x = max(1, math.ceil(max(num_non_sensitive, 1) / z))
+    else:
+        x, z = num_sensitive_bins, num_non_sensitive_bins  # type: ignore[assignment]
+
+    # Feasibility: sensitive bins must not be deeper than the number of
+    # non-sensitive bins, and non-sensitive bins not wider than the number of
+    # sensitive bins (otherwise Algorithm 2 would point at missing bins).
+    sensitive_depth = math.ceil(num_sensitive / x) if num_sensitive else 0
+    if sensitive_depth > z:
+        z = sensitive_depth
+    non_sensitive_width = math.ceil(num_non_sensitive / z) if num_non_sensitive else 0
+    if non_sensitive_width > x:
+        x = non_sensitive_width
+    return x, z
+
+
+def _fill_leftovers(
+    non_sensitive_bins: List[Bin],
+    leftovers: Sequence[object],
+    slot_limit: int,
+    sensitive_bins: Sequence[Bin] = (),
+) -> None:
+    """Fill non-associated non-sensitive values into free slots.
+
+    Bins are filled in index order; each bin may use at most ``slot_limit``
+    slots.  Within a bin, free positions whose (sensitive bin, non-sensitive
+    bin) pair is *not* already covered by rule R1 are filled first: when a
+    non-sensitive bin ends up underfull (the nearest-square layouts leave a
+    few holes), the holes then land on positions whose pair is still reached
+    through the sensitive side, preserving the all-pairs surviving-match
+    property Algorithm 2 relies on.
+
+    Raises when capacity is insufficient (should not happen for layouts
+    produced by :func:`_resolve_layout`).
+    """
+    remaining = list(leftovers)
+
+    def covered_by_r1(position: int, bin_index: int) -> bool:
+        """Is pair (sensitive bin `position`, non-sensitive bin `bin_index`)
+        already reached by rule R1 (the sensitive bin has a value at slot
+        `bin_index`)?"""
+        if position >= len(sensitive_bins):
+            return False
+        slots = sensitive_bins[position].slots
+        return bin_index < len(slots) and slots[bin_index] is not None
+
+    # Enumerate all free cells, splitting them into cells whose bin pair is
+    # not yet reachable through rule R1 (these must be filled first, so any
+    # holes that remain sit on pairs the sensitive side already covers) and
+    # the already-covered remainder.
+    must_fill: List[Tuple[int, int]] = []
+    may_fill: List[Tuple[int, int]] = []
+    for bin_ in non_sensitive_bins:
+        while len(bin_.slots) < slot_limit:
+            bin_.slots.append(None)
+        for position in range(slot_limit):
+            if bin_.slots[position] is not None:
+                continue
+            cell = (bin_.index, position)
+            if covered_by_r1(position, bin_.index):
+                may_fill.append(cell)
+            else:
+                must_fill.append(cell)
+
+    for bin_index, position in must_fill + may_fill:
+        if not remaining:
+            break
+        non_sensitive_bins[bin_index].slots[position] = remaining.pop(0)
+
+    for bin_ in non_sensitive_bins:
+        # Drop trailing empty slots so bin sizes reflect actual contents.
+        while bin_.slots and bin_.slots[-1] is None:
+            bin_.slots.pop()
+
+    if remaining:
+        raise BinningError(
+            f"{len(remaining)} non-sensitive values did not fit into the layout"
+        )

@@ -1,0 +1,391 @@
+"""End-to-end query engines over a partitioned relation.
+
+Two engines are provided:
+
+* :class:`QueryBinningEngine` — the paper's contribution: builds bins at
+  setup time, pads sensitive bins with fake encrypted tuples when needed,
+  outsources both partitions, and answers selection queries by retrieving the
+  bin pair chosen by Algorithm 2 and merging/filtering at the owner.
+* :class:`NaivePartitionedEngine` — the insecure strawman of §II
+  (Example 2 / Table II): the same partitioned storage, but each query is sent
+  as-is to both partitions, which leaks associations through the adversarial
+  view.  It exists so the examples, tests, and security benchmarks can contrast
+  the two.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cloud.server import CloudServer, QueryResponse
+from repro.core.binning import create_bins, layout_covers_all_bin_pairs
+from repro.core.bins import BinLayout
+from repro.core.general_binning import create_general_bins
+from repro.core.metadata import OwnerMetadata
+from repro.core.planner import BinningPlan, plan_binning
+from repro.core.retrieval import BinRetriever, RetrievalDecision
+from repro.crypto.base import EncryptedRow, EncryptedSearchScheme
+from repro.data.partition import PartitionResult
+from repro.data.relation import Row
+from repro.exceptions import ConfigurationError
+from repro.query.merge import merge_results
+from repro.query.selection import BinnedQuery, SelectionQuery
+
+
+@dataclass
+class ExecutionTrace:
+    """Per-query accounting returned by ``query_with_trace``."""
+
+    query: SelectionQuery
+    binned: Optional[BinnedQuery]
+    sensitive_values_requested: int
+    non_sensitive_values_requested: int
+    encrypted_rows_returned: int
+    non_sensitive_rows_returned: int
+    rows_after_merge: int
+    transfer_seconds: float
+
+    @property
+    def total_rows_returned(self) -> int:
+        return self.encrypted_rows_returned + self.non_sensitive_rows_returned
+
+
+class _PartitionedEngineBase:
+    """Shared plumbing: outsourcing and owner-side decryption/merging."""
+
+    def __init__(
+        self,
+        partition: PartitionResult,
+        attribute: str,
+        scheme: EncryptedSearchScheme,
+        cloud: Optional[CloudServer] = None,
+    ):
+        self.partition = partition
+        self.attribute = attribute
+        self.scheme = scheme
+        self.cloud = cloud or CloudServer()
+        self._outsourced = False
+        self._fake_rid_counter = itertools.count(start=-1, step=-1)
+        # Fresh rids for inserted rows must not collide with rids in *either*
+        # partition (both descend from the same original relation).
+        highest_rid = max(
+            [row.rid for row in partition.sensitive]
+            + [row.rid for row in partition.non_sensitive]
+            + [-1]
+        )
+        self._insert_rid_counter = itertools.count(start=highest_rid + 1)
+
+    # -- owner-side helpers ------------------------------------------------------
+    def _encrypt_sensitive_rows(self) -> List[EncryptedRow]:
+        rows = list(self.partition.sensitive.rows)
+        if not rows:
+            return []
+        return self.scheme.encrypt_rows(rows, self.attribute)
+
+    def _make_fake_rows(self, layout: BinLayout) -> List[EncryptedRow]:
+        """Create the padding tuples the general case requires.
+
+        Each sensitive bin with a deficit receives fake tuples whose searched
+        attribute equals one of the bin's values, so retrieving the bin always
+        returns the same (padded) number of encrypted rows.
+        """
+        fakes: List[EncryptedRow] = []
+        sensitive_rows = list(self.partition.sensitive.rows)
+        template_by_value: Dict[object, Row] = {}
+        for row in sensitive_rows:
+            template_by_value.setdefault(row[self.attribute], row)
+        default_template = sensitive_rows[0] if sensitive_rows else None
+        for bin_ in layout.sensitive_bins:
+            deficit = layout.fake_tuples.get(bin_.index, 0)
+            if deficit <= 0 or not bin_.values:
+                continue
+            anchor_value = bin_.values[0]
+            base = template_by_value.get(anchor_value, default_template)
+            if base is None:
+                continue
+            for _ in range(deficit):
+                values = dict(base.values)
+                values[self.attribute] = anchor_value
+                fake_source = Row(
+                    rid=next(self._fake_rid_counter), values=values, sensitive=True
+                )
+                fakes.append(self.scheme.make_fake_row(self.attribute, fake_source))
+        return fakes
+
+    def _decrypt_and_merge(
+        self, query: SelectionQuery, response: QueryResponse
+    ) -> List[Row]:
+        sensitive_rows = self.scheme.decrypt_rows(response.encrypted_rows)
+        return merge_results(query, sensitive_rows, response.non_sensitive_rows)
+
+
+class QueryBinningEngine(_PartitionedEngineBase):
+    """The Query Binning execution engine.
+
+    Typical usage::
+
+        engine = QueryBinningEngine(partition, attribute="EId", scheme=scheme)
+        engine.setup()
+        rows = engine.query("E259")
+
+    Parameters
+    ----------
+    partition:
+        The sensitive/non-sensitive split produced by the owner.
+    attribute:
+        The searchable attribute bins are built for.
+    scheme:
+        The cryptographic technique protecting the sensitive partition.
+    cloud:
+        The (simulated) public cloud; a fresh one is created when omitted.
+    add_fake_tuples:
+        Whether to pad sensitive bins to equal tuple counts (general case).
+    rng / permutation_seed:
+        Deterministic control over the secret permutation, for tests and
+        reproducible benchmarks.
+    force_strategy / force_layout:
+        Overrides forwarded to the planner (used by the Figure 6c sweep).
+    """
+
+    def __init__(
+        self,
+        partition: PartitionResult,
+        attribute: str,
+        scheme: EncryptedSearchScheme,
+        cloud: Optional[CloudServer] = None,
+        add_fake_tuples: bool = True,
+        rng: Optional[random.Random] = None,
+        permutation_seed: Optional[int] = None,
+        force_strategy: Optional[str] = None,
+        force_layout: Optional[Tuple[int, int]] = None,
+    ):
+        super().__init__(partition, attribute, scheme, cloud)
+        self.add_fake_tuples = add_fake_tuples
+        self._rng = rng if rng is not None else (
+            random.Random(permutation_seed) if permutation_seed is not None else None
+        )
+        self._force_strategy = force_strategy
+        self._force_layout = force_layout
+        self.metadata: Optional[OwnerMetadata] = None
+        self.plan: Optional[BinningPlan] = None
+        self.layout: Optional[BinLayout] = None
+        self.retriever: Optional[BinRetriever] = None
+        self.fake_rows_outsourced = 0
+
+    # -- setup -----------------------------------------------------------------------
+    def setup(self) -> "QueryBinningEngine":
+        """Build metadata and bins, encrypt, and outsource both partitions."""
+        sensitive_counts = dict(self.partition.sensitive.value_counts(self.attribute))
+        non_sensitive_counts = dict(
+            self.partition.non_sensitive.value_counts(self.attribute)
+        )
+        self.metadata = OwnerMetadata.from_counts(
+            self.attribute, sensitive_counts, non_sensitive_counts
+        )
+        self.plan = plan_binning(
+            self.metadata,
+            force_strategy=self._force_strategy,
+            force_layout=self._force_layout,
+        )
+
+        self.layout = self._build_layout(
+            sensitive_counts,
+            non_sensitive_counts,
+            (self.plan.num_sensitive_bins, self.plan.num_non_sensitive_bins),
+        )
+        if self._force_layout is None and not layout_covers_all_bin_pairs(self.layout):
+            # The planner's preferred (e.g. nearest-square) layout cannot keep
+            # every sensitive bin associated with every non-sensitive bin for
+            # this data; fall back to the exact factorisation, which always
+            # can (every non-sensitive bin is completely full).
+            self.layout = self._build_layout(sensitive_counts, non_sensitive_counts, None)
+        self.metadata.layout = self.layout
+        self.metadata.strategy = self.plan.strategy
+        self.retriever = BinRetriever(self.layout)
+
+        encrypted = self._encrypt_sensitive_rows()
+        if self.add_fake_tuples:
+            fakes = self._make_fake_rows(self.layout)
+            self.fake_rows_outsourced = len(fakes)
+            encrypted = encrypted + fakes
+
+        self.cloud.store_non_sensitive(self.partition.non_sensitive)
+        self.cloud.store_sensitive(encrypted, self.scheme)
+        self.cloud.build_index(self.attribute)
+        self._outsourced = True
+        return self
+
+    def _build_layout(
+        self,
+        sensitive_counts: Dict[object, int],
+        non_sensitive_counts: Dict[object, int],
+        bin_counts: Optional[Tuple[int, int]],
+    ) -> BinLayout:
+        """Build a layout with explicit bin counts, or with the defaults."""
+        assert self.plan is not None
+        num_sensitive_bins, num_non_sensitive_bins = bin_counts or (None, None)
+        if self.plan.strategy == "base":
+            return create_bins(
+                list(sensitive_counts),
+                list(non_sensitive_counts),
+                num_sensitive_bins=num_sensitive_bins,
+                num_non_sensitive_bins=num_non_sensitive_bins,
+                rng=self._rng,
+                attribute=self.attribute,
+            )
+        result = create_general_bins(
+            sensitive_counts,
+            non_sensitive_counts,
+            num_sensitive_bins=num_sensitive_bins,
+            num_non_sensitive_bins=num_non_sensitive_bins,
+            rng=self._rng,
+            attribute=self.attribute,
+        )
+        return result.layout
+
+    def _require_setup(self) -> None:
+        if not self._outsourced or self.retriever is None:
+            raise ConfigurationError("call setup() before issuing queries")
+
+    # -- querying -----------------------------------------------------------------------
+    def rewrite(self, value: object) -> BinnedQuery:
+        """Expose the QB rewriting of a query (without executing it)."""
+        self._require_setup()
+        assert self.retriever is not None
+        return self.retriever.rewrite(SelectionQuery(self.attribute, value))
+
+    def query(self, value: object) -> List[Row]:
+        """Answer ``SELECT * WHERE attribute = value`` securely."""
+        rows, _trace = self.query_with_trace(value)
+        return rows
+
+    def query_with_trace(self, value: object) -> Tuple[List[Row], ExecutionTrace]:
+        """Answer a query and return the execution trace for cost accounting."""
+        self._require_setup()
+        assert self.retriever is not None
+        query = SelectionQuery(self.attribute, value)
+        decision = self.retriever.retrieve(value)
+
+        if not decision.retrieves_anything:
+            trace = ExecutionTrace(
+                query=query,
+                binned=None,
+                sensitive_values_requested=0,
+                non_sensitive_values_requested=0,
+                encrypted_rows_returned=0,
+                non_sensitive_rows_returned=0,
+                rows_after_merge=0,
+                transfer_seconds=0.0,
+            )
+            return [], trace
+
+        binned = BinnedQuery(
+            original=query,
+            sensitive_values=decision.sensitive_values,
+            non_sensitive_values=decision.non_sensitive_values,
+            sensitive_bin_index=decision.sensitive_bin_index,
+            non_sensitive_bin_index=decision.non_sensitive_bin_index,
+        )
+        tokens = (
+            self.scheme.tokens_for_values(list(decision.sensitive_values), self.attribute)
+            if decision.sensitive_values
+            else []
+        )
+        response = self.cloud.process_request(
+            self.attribute,
+            list(decision.non_sensitive_values),
+            tokens,
+            sensitive_bin_index=decision.sensitive_bin_index,
+            non_sensitive_bin_index=decision.non_sensitive_bin_index,
+        )
+        rows = self._decrypt_and_merge(query, response)
+        trace = ExecutionTrace(
+            query=query,
+            binned=binned,
+            sensitive_values_requested=len(decision.sensitive_values),
+            non_sensitive_values_requested=len(decision.non_sensitive_values),
+            encrypted_rows_returned=len(response.encrypted_rows),
+            non_sensitive_rows_returned=len(response.non_sensitive_rows),
+            rows_after_merge=len(rows),
+            transfer_seconds=response.transfer_seconds,
+        )
+        return rows, trace
+
+    def execute_workload(self, values: Iterable[object]) -> List[ExecutionTrace]:
+        """Run a sequence of selection queries; returns their traces."""
+        traces = []
+        for value in values:
+            _rows, trace = self.query_with_trace(value)
+            traces.append(trace)
+        return traces
+
+    # -- introspection ----------------------------------------------------------------
+    def insert(self, values: Dict[str, object], sensitive: bool) -> None:
+        """Insert one new row while keeping bins usable (see extensions.inserts).
+
+        The base engine supports inserts for values that already exist in the
+        layout; new values require re-binning, which
+        :mod:`repro.extensions.inserts` handles incrementally.
+        """
+        self._require_setup()
+        rid = next(self._insert_rid_counter)
+        if sensitive:
+            row = self.partition.sensitive.insert(
+                values, sensitive=True, rid=rid, validate=False
+            )
+            encrypted = self.scheme.encrypt_rows([row], self.attribute)
+            self.cloud.append_sensitive(encrypted)
+            assert self.metadata is not None
+            counts = self.metadata.sensitive_counts
+            counts[values[self.attribute]] = counts.get(values[self.attribute], 0) + 1
+        else:
+            row = self.partition.non_sensitive.insert(
+                values, sensitive=False, rid=rid, validate=False
+            )
+            # The cloud stores the same relation object, so only its indexes
+            # and transfer accounting need refreshing.
+            self.cloud.register_non_sensitive_row(row)
+            assert self.metadata is not None
+            counts = self.metadata.non_sensitive_counts
+            counts[values[self.attribute]] = counts.get(values[self.attribute], 0) + 1
+
+
+class NaivePartitionedEngine(_PartitionedEngineBase):
+    """Partitioned execution *without* binning (the leaky baseline of §II)."""
+
+    def setup(self) -> "NaivePartitionedEngine":
+        encrypted = self._encrypt_sensitive_rows()
+        self.cloud.store_non_sensitive(self.partition.non_sensitive)
+        self.cloud.store_sensitive(encrypted, self.scheme)
+        self.cloud.build_index(self.attribute)
+        self._outsourced = True
+        return self
+
+    def query(self, value: object) -> List[Row]:
+        rows, _trace = self.query_with_trace(value)
+        return rows
+
+    def query_with_trace(self, value: object) -> Tuple[List[Row], ExecutionTrace]:
+        if not self._outsourced:
+            raise ConfigurationError("call setup() before issuing queries")
+        query = SelectionQuery(self.attribute, value)
+        tokens = self.scheme.tokens_for_values([value], self.attribute)
+        response = self.cloud.process_request(self.attribute, [value], tokens)
+        rows = self._decrypt_and_merge(query, response)
+        trace = ExecutionTrace(
+            query=query,
+            binned=None,
+            sensitive_values_requested=1,
+            non_sensitive_values_requested=1,
+            encrypted_rows_returned=len(response.encrypted_rows),
+            non_sensitive_rows_returned=len(response.non_sensitive_rows),
+            rows_after_merge=len(rows),
+            transfer_seconds=response.transfer_seconds,
+        )
+        return rows, trace
+
+    def execute_workload(self, values: Iterable[object]) -> List[ExecutionTrace]:
+        return [self.query_with_trace(value)[1] for value in values]

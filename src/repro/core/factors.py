@@ -1,0 +1,98 @@
+"""Approximately-square factorisation (Algorithm 1's first step).
+
+QB sizes its bins from two *approximately square factors* ``x >= y`` of the
+number of non-sensitive values ``|NS|``: ``x`` becomes the number of sensitive
+bins (and the nominal size of each non-sensitive bin) and ``y`` the nominal
+size of each sensitive bin.  When ``|NS|`` factors badly (e.g. a prime or
+``2 × large-prime``), the paper's "simple extension" instead bins against the
+nearest square number, so this module also exposes the candidate layouts the
+planner compares.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.exceptions import BinningError
+
+
+def approx_square_factors(n: int) -> Tuple[int, int]:
+    """Return the pair of factors ``(x, y)`` of ``n`` with ``x >= y`` whose
+    difference is minimal (the paper's *approximately square factors*).
+
+    For example ``approx_square_factors(16) == (4, 4)``,
+    ``approx_square_factors(10) == (5, 2)``, and for a prime ``p`` the only
+    factorisation is ``(p, 1)``.
+    """
+    if n <= 0:
+        raise BinningError(f"cannot factor a non-positive count: {n}")
+    for y in range(int(math.isqrt(n)), 0, -1):
+        if n % y == 0:
+            return n // y, y
+    raise BinningError(f"no factorisation found for {n}")  # pragma: no cover
+
+
+def nearest_square(n: int) -> int:
+    """The square number nearest to ``n`` (ties round down, as 81 is to 82)."""
+    if n <= 0:
+        raise BinningError(f"cannot take nearest square of non-positive {n}")
+    root = math.isqrt(n)
+    below, above = root * root, (root + 1) * (root + 1)
+    if abs(n - below) <= abs(above - n):
+        return below
+    return above
+
+
+def square_side(n: int) -> int:
+    """Side length of the nearest square to ``n`` (≈ √n)."""
+    return max(1, math.isqrt(nearest_square(n)))
+
+
+def factor_candidates(num_non_sensitive: int, num_sensitive: int) -> List[Tuple[int, int]]:
+    """Candidate ``(num_sensitive_bins, num_non_sensitive_bins)`` layouts.
+
+    Two candidates are generated, mirroring §IV-A's "simple extension":
+
+    * the exact approximately-square factorisation of ``|NS|``
+      (``x`` sensitive bins, ``|NS| / x`` non-sensitive bins), and
+    * the nearest-square layout (``⌈√|NS|⌉``-ish bins on both sides).
+
+    The planner evaluates both with the retrieval-cost metric and keeps the
+    cheaper one.  Layouts are constrained so that every bin index referenced
+    by the retrieval rules exists: the number of non-sensitive bins is always
+    at least the maximum sensitive-bin size and vice versa (guaranteed by
+    construction because capacities cover ``max(|S|, |NS|)``).
+    """
+    if num_non_sensitive <= 0:
+        raise BinningError("need at least one non-sensitive value to build bins")
+    if num_sensitive < 0:
+        raise BinningError("the number of sensitive values cannot be negative")
+
+    candidates: List[Tuple[int, int]] = []
+
+    x, y = approx_square_factors(num_non_sensitive)
+    exact = (x, max(1, math.ceil(num_non_sensitive / x)))
+    candidates.append(exact)
+
+    side = square_side(num_non_sensitive)
+    square_bins = max(1, math.ceil(num_non_sensitive / side))
+    square_candidate = (side, square_bins)
+    if square_candidate not in candidates:
+        candidates.append(square_candidate)
+
+    # Make sure every candidate can actually host all sensitive values with
+    # bin sizes no larger than the number of bins on the opposite side.
+    feasible = []
+    for sensitive_bins, non_sensitive_bins in candidates:
+        sensitive_bin_size = math.ceil(num_sensitive / sensitive_bins) if num_sensitive else 0
+        non_sensitive_bin_size = math.ceil(num_non_sensitive / non_sensitive_bins)
+        if sensitive_bin_size <= non_sensitive_bins and non_sensitive_bin_size <= sensitive_bins:
+            feasible.append((sensitive_bins, non_sensitive_bins))
+    if not feasible:
+        # Fall back to a square-ish layout large enough for both sides.
+        side = max(square_side(num_non_sensitive), square_side(max(num_sensitive, 1)))
+        while side * side < max(num_non_sensitive, num_sensitive):
+            side += 1
+        feasible.append((side, side))
+    return feasible

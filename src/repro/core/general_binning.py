@@ -1,0 +1,188 @@
+"""General-case bin creation (§IV-B): multiple values with multiple tuples.
+
+When different values have different numbers of tuples, the base-case layout
+becomes vulnerable to size and frequency-count attacks: the adversary can tell
+bins apart by how many tuples they return.  The paper's remedy is two-fold:
+
+* pack sensitive values into bins so that tuple counts are as balanced as
+  possible (sort by count, give each bin one heavy hitter, then repeatedly add
+  the next value to the currently-lightest non-full bin — Figure 5b), and
+* pad every sensitive bin with encrypted *fake tuples* up to the heaviest
+  bin's count so all sensitive bins return identical numbers of tuples.
+
+Non-sensitive values need no padding: their counts are public anyway, and the
+adversary cannot tell which sensitive bin is associated with a non-sensitive
+value as long as the sensitive counts are uniform.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.bins import Bin, BinLayout
+from repro.core.binning import place_non_sensitive_values
+from repro.core.factors import approx_square_factors
+from repro.crypto.primitives import SecretKey, keyed_permutation
+from repro.exceptions import BinningError
+
+
+@dataclass
+class GeneralBinningResult:
+    """The outcome of the general-case construction.
+
+    Attributes
+    ----------
+    layout:
+        The bin layout (value placement) — structurally identical to the base
+        case, so Algorithm 2 retrieval applies unchanged.
+    fake_tuples:
+        Per-sensitive-bin number of fake encrypted tuples required to make
+        every sensitive bin hold ``target_tuples_per_bin`` tuples.
+    tuples_per_bin:
+        Real tuple count of each sensitive bin before padding.
+    target_tuples_per_bin:
+        The padded size every sensitive bin reaches.
+    """
+
+    layout: BinLayout
+    fake_tuples: Dict[int, int]
+    tuples_per_bin: Dict[int, int]
+    target_tuples_per_bin: int
+
+    @property
+    def total_fake_tuples(self) -> int:
+        return sum(self.fake_tuples.values())
+
+
+def create_general_bins(
+    sensitive_counts: Mapping[object, int],
+    non_sensitive_counts: Mapping[object, int],
+    num_sensitive_bins: Optional[int] = None,
+    num_non_sensitive_bins: Optional[int] = None,
+    permutation_key: Optional[SecretKey] = None,
+    rng: Optional[random.Random] = None,
+    attribute: Optional[str] = None,
+) -> GeneralBinningResult:
+    """Build bins for values with arbitrary tuple multiplicities.
+
+    Parameters
+    ----------
+    sensitive_counts:
+        ``{value: number of sensitive tuples}`` for every distinct sensitive
+        value of the searchable attribute.
+    non_sensitive_counts:
+        ``{value: number of non-sensitive tuples}``; only the keys influence
+        the layout (non-sensitive counts are public), the counts are kept for
+        the planner's cost estimates.
+    num_sensitive_bins / num_non_sensitive_bins:
+        Optional explicit layout, as in :func:`repro.core.binning.create_bins`.
+    """
+    sensitive_values = list(sensitive_counts)
+    non_sensitive_values = list(non_sensitive_counts)
+    if not sensitive_values and not non_sensitive_values:
+        raise BinningError("cannot build bins with no values at all")
+    for value, count in sensitive_counts.items():
+        if count < 0:
+            raise BinningError(f"negative tuple count for sensitive value {value!r}")
+
+    x, z = _resolve_general_layout(
+        len(sensitive_values),
+        len(non_sensitive_values),
+        num_sensitive_bins,
+        num_non_sensitive_bins,
+    )
+
+    capacity = max(1, math.ceil(len(sensitive_values) / x)) if sensitive_values else 0
+    if capacity > z and sensitive_values:
+        z = capacity
+
+    sensitive_bins, tuples_per_bin = _pack_sensitive_bins(
+        sensitive_counts, x, capacity, permutation_key, rng
+    )
+
+    non_sensitive_bins = place_non_sensitive_values(
+        sensitive_bins, non_sensitive_values, num_non_sensitive_bins=z, slot_limit=x
+    )
+
+    target = max(tuples_per_bin.values(), default=0)
+    fake_tuples = {
+        index: target - count for index, count in tuples_per_bin.items()
+    }
+
+    layout = BinLayout(
+        sensitive_bins=sensitive_bins,
+        non_sensitive_bins=non_sensitive_bins,
+        fake_tuples=fake_tuples,
+        attribute=attribute,
+    )
+    layout.validate()
+    return GeneralBinningResult(
+        layout=layout,
+        fake_tuples=fake_tuples,
+        tuples_per_bin=tuples_per_bin,
+        target_tuples_per_bin=target,
+    )
+
+
+def _resolve_general_layout(
+    num_sensitive: int,
+    num_non_sensitive: int,
+    num_sensitive_bins: Optional[int],
+    num_non_sensitive_bins: Optional[int],
+) -> Tuple[int, int]:
+    """Layout resolution mirroring the base case (factor |NS|)."""
+    if num_sensitive_bins is not None and num_non_sensitive_bins is not None:
+        return num_sensitive_bins, num_non_sensitive_bins
+    basis = max(num_non_sensitive, 1)
+    x, _y = approx_square_factors(basis)
+    if num_sensitive_bins is not None:
+        x = num_sensitive_bins
+    z = num_non_sensitive_bins or max(1, math.ceil(basis / x))
+    return x, z
+
+
+def _pack_sensitive_bins(
+    sensitive_counts: Mapping[object, int],
+    num_bins: int,
+    capacity: int,
+    permutation_key: Optional[SecretKey],
+    rng: Optional[random.Random],
+) -> Tuple[List[Bin], Dict[int, int]]:
+    """Greedy balanced packing of weighted sensitive values into bins.
+
+    Values are sorted by tuple count (descending); the ``num_bins`` heaviest
+    seed one bin each; every further value goes to the currently lightest bin
+    that still has a free slot.  Ties between equal counts are broken by a
+    secret permutation so the adversary cannot reconstruct the packing from
+    public value order.
+    """
+    bins = [Bin(index=i) for i in range(num_bins)]
+    totals: Dict[int, int] = {i: 0 for i in range(num_bins)}
+    if not sensitive_counts:
+        return bins, totals
+
+    values = list(sensitive_counts)
+    if rng is not None:
+        rng.shuffle(values)
+    else:
+        values = list(keyed_permutation(values, permutation_key or SecretKey.generate()))
+    ordered = sorted(values, key=lambda value: sensitive_counts[value], reverse=True)
+
+    for position, value in enumerate(ordered[:num_bins]):
+        bins[position].append(value)
+        totals[position] += sensitive_counts[value]
+
+    for value in ordered[num_bins:]:
+        candidates = [b.index for b in bins if b.size < capacity]
+        if not candidates:
+            raise BinningError(
+                "sensitive bin capacity exhausted; increase the number of bins"
+            )
+        lightest = min(candidates, key=lambda index: (totals[index], index))
+        bins[lightest].append(value)
+        totals[lightest] += sensitive_counts[value]
+
+    return bins, totals

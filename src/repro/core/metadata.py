@@ -1,0 +1,105 @@
+"""DB-owner metadata.
+
+The paper's model requires the owner to keep, per searchable attribute, the
+set of searchable values with their frequency counts (for query formulation
+and for the general-case fake-tuple computation) plus the bin layout produced
+at setup time.  The metadata is small — proportional to the number of distinct
+values, not to the database size (the paper reports 13.6 MB for
+``L_PARTKEY`` and 0.65 MB for ``L_SUPPKEY`` on TPC-H LINEITEM) — and
+:meth:`OwnerMetadata.estimated_size_bytes` lets experiments report the same
+quantity for our synthetic datasets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.core.bins import BinLayout
+
+
+@dataclass
+class OwnerMetadata:
+    """Everything the trusted owner stores locally for one searchable attribute."""
+
+    attribute: str
+    sensitive_counts: Dict[object, int] = field(default_factory=dict)
+    non_sensitive_counts: Dict[object, int] = field(default_factory=dict)
+    layout: Optional[BinLayout] = None
+    strategy: str = "base"
+
+    # -- derived quantities -----------------------------------------------------
+    @property
+    def num_sensitive_values(self) -> int:
+        """|S| — distinct sensitive values of the attribute."""
+        return len(self.sensitive_counts)
+
+    @property
+    def num_non_sensitive_values(self) -> int:
+        """|NS| — distinct non-sensitive values of the attribute."""
+        return len(self.non_sensitive_counts)
+
+    @property
+    def sensitive_tuples(self) -> int:
+        return sum(self.sensitive_counts.values())
+
+    @property
+    def non_sensitive_tuples(self) -> int:
+        return sum(self.non_sensitive_counts.values())
+
+    @property
+    def alpha(self) -> float:
+        """The sensitivity ratio α = |S tuples| / |all tuples|."""
+        total = self.sensitive_tuples + self.non_sensitive_tuples
+        if total == 0:
+            return 0.0
+        return self.sensitive_tuples / total
+
+    @property
+    def associated_values(self) -> Tuple[object, ...]:
+        """Values that occur on both sides (the 1:1 associations of §IV-A)."""
+        return tuple(
+            value for value in self.sensitive_counts if value in self.non_sensitive_counts
+        )
+
+    @property
+    def is_base_case(self) -> bool:
+        """True when every value has at most one tuple on each side."""
+        return all(count <= 1 for count in self.sensitive_counts.values()) and all(
+            count <= 1 for count in self.non_sensitive_counts.values()
+        )
+
+    def value_exists(self, value: object) -> bool:
+        return value in self.sensitive_counts or value in self.non_sensitive_counts
+
+    def expected_result_size(self, value: object) -> int:
+        """Number of real tuples a query for ``value`` should return."""
+        return self.sensitive_counts.get(value, 0) + self.non_sensitive_counts.get(value, 0)
+
+    def estimated_size_bytes(
+        self, bytes_per_value: int = 24, bytes_per_count: int = 8
+    ) -> int:
+        """Approximate local storage footprint of this metadata."""
+        per_entry = bytes_per_value + bytes_per_count
+        entries = self.num_sensitive_values + self.num_non_sensitive_values
+        layout_overhead = 0
+        if self.layout is not None:
+            placements = len(self.layout.sensitive_values) + len(
+                self.layout.non_sensitive_values
+            )
+            layout_overhead = placements * (bytes_per_value + 8)
+        return entries * per_entry + layout_overhead
+
+    # -- construction ---------------------------------------------------------------
+    @classmethod
+    def from_counts(
+        cls,
+        attribute: str,
+        sensitive_counts: Mapping[object, int],
+        non_sensitive_counts: Mapping[object, int],
+    ) -> "OwnerMetadata":
+        return cls(
+            attribute=attribute,
+            sensitive_counts=dict(sensitive_counts),
+            non_sensitive_counts=dict(non_sensitive_counts),
+        )

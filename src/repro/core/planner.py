@@ -1,0 +1,142 @@
+"""Binning planner: choose the strategy and layout for an attribute.
+
+The planner inspects the owner metadata and decides
+
+* whether the base case applies (every value has at most one tuple per side)
+  or the general case is needed (multi-tuple values → balanced packing plus
+  fake tuples), and
+* which feasible factorisation minimises the expected per-query retrieval
+  cost (the "simple extension" comparison between the exact factorisation and
+  the nearest-square layout).
+
+The cost estimate mirrors the paper's Figure 6c finding: retrieval cost is
+minimised when the two bin widths are balanced, i.e. |SB| ≈ |NSB| ≈ √|NS|.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.factors import factor_candidates
+from repro.core.metadata import OwnerMetadata
+from repro.exceptions import BinningError
+
+
+@dataclass(frozen=True)
+class BinningPlan:
+    """The planner's decision for one attribute."""
+
+    attribute: str
+    strategy: str  # "base" or "general"
+    num_sensitive_bins: int
+    num_non_sensitive_bins: int
+    expected_sensitive_width: int
+    expected_non_sensitive_width: int
+    expected_tuples_per_query: float
+
+    @property
+    def expected_values_per_query(self) -> int:
+        """|SB| + |NSB| — the number of values a single query expands to."""
+        return self.expected_sensitive_width + self.expected_non_sensitive_width
+
+
+def estimate_query_cost(
+    metadata: OwnerMetadata,
+    num_sensitive_bins: int,
+    num_non_sensitive_bins: int,
+) -> Tuple[int, int, float]:
+    """Estimate the retrieval footprint of a layout.
+
+    Returns ``(sensitive bin width, non-sensitive bin width, expected tuples
+    retrieved per query)``.  The tuple estimate assumes tuples are spread
+    evenly over values — the same uniformity assumption the paper's analytical
+    model makes for ρ.
+    """
+    num_sensitive_values = metadata.num_sensitive_values
+    num_non_sensitive_values = metadata.num_non_sensitive_values
+
+    sensitive_width = (
+        math.ceil(num_sensitive_values / num_sensitive_bins)
+        if num_sensitive_values
+        else 0
+    )
+    non_sensitive_width = (
+        math.ceil(num_non_sensitive_values / num_non_sensitive_bins)
+        if num_non_sensitive_values
+        else 0
+    )
+
+    tuples_per_sensitive_value = (
+        metadata.sensitive_tuples / num_sensitive_values if num_sensitive_values else 0.0
+    )
+    tuples_per_non_sensitive_value = (
+        metadata.non_sensitive_tuples / num_non_sensitive_values
+        if num_non_sensitive_values
+        else 0.0
+    )
+    expected_tuples = (
+        sensitive_width * tuples_per_sensitive_value
+        + non_sensitive_width * tuples_per_non_sensitive_value
+    )
+    return sensitive_width, non_sensitive_width, expected_tuples
+
+
+def plan_binning(
+    metadata: OwnerMetadata,
+    force_strategy: Optional[str] = None,
+    force_layout: Optional[Tuple[int, int]] = None,
+) -> BinningPlan:
+    """Choose strategy and layout for ``metadata``.
+
+    Parameters
+    ----------
+    metadata:
+        The owner's per-attribute metadata (value counts on both sides).
+    force_strategy:
+        Override the base/general decision ("base" or "general").
+    force_layout:
+        Override the factorisation with an explicit
+        ``(num_sensitive_bins, num_non_sensitive_bins)`` pair — used by the
+        Figure 6c experiment to sweep bin-size imbalance.
+    """
+    if metadata.num_non_sensitive_values == 0 and metadata.num_sensitive_values == 0:
+        raise BinningError(f"attribute {metadata.attribute!r} has no values to bin")
+
+    strategy = force_strategy or ("base" if metadata.is_base_case else "general")
+    if strategy not in ("base", "general"):
+        raise BinningError(f"unknown binning strategy {strategy!r}")
+
+    if force_layout is not None:
+        num_sensitive_bins, num_non_sensitive_bins = force_layout
+        widths = estimate_query_cost(metadata, num_sensitive_bins, num_non_sensitive_bins)
+        return BinningPlan(
+            attribute=metadata.attribute,
+            strategy=strategy,
+            num_sensitive_bins=num_sensitive_bins,
+            num_non_sensitive_bins=num_non_sensitive_bins,
+            expected_sensitive_width=widths[0],
+            expected_non_sensitive_width=widths[1],
+            expected_tuples_per_query=widths[2],
+        )
+
+    candidates = factor_candidates(
+        max(metadata.num_non_sensitive_values, 1), metadata.num_sensitive_values
+    )
+    best_plan: Optional[BinningPlan] = None
+    for num_sensitive_bins, num_non_sensitive_bins in candidates:
+        widths = estimate_query_cost(metadata, num_sensitive_bins, num_non_sensitive_bins)
+        plan = BinningPlan(
+            attribute=metadata.attribute,
+            strategy=strategy,
+            num_sensitive_bins=num_sensitive_bins,
+            num_non_sensitive_bins=num_non_sensitive_bins,
+            expected_sensitive_width=widths[0],
+            expected_non_sensitive_width=widths[1],
+            expected_tuples_per_query=widths[2],
+        )
+        if best_plan is None or plan.expected_tuples_per_query < best_plan.expected_tuples_per_query:
+            best_plan = plan
+    assert best_plan is not None
+    return best_plan

@@ -1,0 +1,154 @@
+"""Common interface for encrypted-search schemes.
+
+QB is a *meta* technique: it rewrites queries into bins and hands the
+sensitive bin to whatever cryptographic search scheme protects ``Rs``.  Every
+scheme in this package therefore implements the same, small interface:
+
+* ``encrypt_rows`` — the DB owner encrypts the sensitive rows before
+  outsourcing them;
+* ``tokens_for_values`` — the DB owner turns the sensitive bin ``Ws`` into
+  search tokens;
+* ``search`` — the (untrusted) cloud matches tokens against stored
+  ciphertexts and returns matching :class:`EncryptedRow` objects;
+* ``decrypt_row`` — the DB owner recovers the plaintext row.
+
+Each scheme also advertises a :class:`LeakageProfile` describing which
+attacks it is susceptible to on its own; the security benchmarks use this to
+demonstrate that QB removes the size / frequency / workload-skew signals even
+when the underlying scheme leaks them.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.data.relation import Row
+from repro.exceptions import CryptoError
+
+
+@dataclass(frozen=True)
+class SearchToken:
+    """An opaque token the owner sends to the cloud to search ``Rs``.
+
+    ``payload`` is scheme-specific (a PRF output, a ciphertext, a share...).
+    ``hint`` carries scheme-specific routing information (e.g. the Arx
+    counter index); it must not reveal the plaintext value.
+    """
+
+    payload: bytes
+    hint: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class EncryptedRow:
+    """A sensitive row as stored at the cloud.
+
+    Attributes
+    ----------
+    rid:
+        The tuple address.  The adversary sees this (access pattern), which is
+        exactly the paper's adversarial-view granularity for sensitive data.
+    ciphertext:
+        Probabilistically encrypted full row payload.
+    search_tag:
+        Scheme-specific searchable tag for the binned attribute (may be
+        empty for schemes that search by owner-side decryption).
+    is_fake:
+        True for the padding tuples added by the general-case binning.
+    """
+
+    rid: int
+    ciphertext: bytes
+    search_tag: bytes = b""
+    is_fake: bool = False
+
+
+@dataclass(frozen=True)
+class LeakageProfile:
+    """Which classical attacks a scheme is vulnerable to *on its own*."""
+
+    name: str
+    leaks_output_size: bool = True
+    leaks_frequency: bool = False
+    leaks_order: bool = False
+    leaks_access_pattern: bool = True
+    deterministic: bool = False
+
+    def vulnerable_attacks(self) -> Tuple[str, ...]:
+        attacks = []
+        if self.leaks_output_size:
+            attacks.append("size")
+        if self.leaks_frequency:
+            attacks.append("frequency-count")
+        if self.leaks_output_size or self.leaks_frequency:
+            attacks.append("workload-skew")
+        if self.leaks_access_pattern:
+            attacks.append("access-pattern")
+        if self.leaks_order:
+            attacks.append("order")
+        return tuple(attacks)
+
+
+class EncryptedSearchScheme(abc.ABC):
+    """Abstract base class for all encrypted-search schemes."""
+
+    #: human-readable scheme name, set by subclasses
+    name: str = "abstract"
+
+    @property
+    @abc.abstractmethod
+    def leakage(self) -> LeakageProfile:
+        """The scheme's standalone leakage profile."""
+
+    @abc.abstractmethod
+    def encrypt_rows(
+        self, rows: Sequence[Row], attribute: str
+    ) -> List[EncryptedRow]:
+        """Encrypt sensitive rows for outsourcing, tagging ``attribute``."""
+
+    @abc.abstractmethod
+    def tokens_for_values(
+        self, values: Sequence[object], attribute: str
+    ) -> List[SearchToken]:
+        """Build the search tokens for the sensitive bin ``Ws``."""
+
+    @abc.abstractmethod
+    def search(
+        self, stored: Sequence[EncryptedRow], tokens: Sequence[SearchToken]
+    ) -> List[EncryptedRow]:
+        """Cloud-side matching of tokens against stored ciphertexts."""
+
+    @abc.abstractmethod
+    def decrypt_row(self, encrypted: EncryptedRow) -> Row:
+        """Owner-side decryption of a returned ciphertext."""
+
+    # -- conveniences shared by all schemes ---------------------------------
+    def decrypt_rows(self, encrypted: Iterable[EncryptedRow]) -> List[Row]:
+        """Decrypt many rows, silently dropping padding (fake) tuples."""
+        plain: List[Row] = []
+        for item in encrypted:
+            if item.is_fake:
+                continue
+            plain.append(self.decrypt_row(item))
+        return plain
+
+    def make_fake_row(self, attribute: str, template: Row) -> EncryptedRow:
+        """Create an indistinguishable padding tuple for bin equalisation.
+
+        The default implementation encrypts a copy of ``template`` with a
+        sentinel rid of ``-1`` family; schemes may override for tighter
+        constructions.  Fake rows are never returned to the application: the
+        owner drops them during decryption.
+        """
+        encrypted = self.encrypt_rows([template], attribute)
+        if not encrypted:
+            raise CryptoError("scheme produced no ciphertext for the fake row")
+        first = encrypted[0]
+        return EncryptedRow(
+            rid=first.rid,
+            ciphertext=first.ciphertext,
+            search_tag=first.search_tag,
+            is_fake=True,
+        )

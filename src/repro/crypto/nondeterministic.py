@@ -1,0 +1,119 @@
+"""Non-deterministic (probabilistic) row encryption.
+
+This is the scheme the paper assumes protects the sensitive relation by
+default: ciphertext indistinguishability means two occurrences of the same
+value (e.g. ``E152`` in Example 1) have different ciphertexts, so the cloud
+cannot match values on its own.
+
+Search therefore works the way the paper's experimental section describes for
+the "No-Ind" systems: the DB owner resolves the bin's values to tuple
+addresses using its own metadata (built at encryption time), sends the
+addresses, and the cloud returns the ciphertexts stored at those addresses.
+The adversary consequently observes only (a) how many addresses were probed
+and (b) which ciphertexts were returned — the access pattern — which is the
+adversarial view QB is designed to neutralise.
+"""
+
+from __future__ import annotations
+
+import pickle
+from collections import defaultdict
+from typing import Dict, List, Sequence
+
+from repro.crypto.base import (
+    EncryptedRow,
+    EncryptedSearchScheme,
+    LeakageProfile,
+    SearchToken,
+)
+from repro.crypto.primitives import (
+    SecretKey,
+    aead_decrypt,
+    aead_encrypt,
+    encode_value,
+    prf,
+)
+from repro.data.relation import Row
+from repro.exceptions import CryptoError
+
+
+class NonDeterministicScheme(EncryptedSearchScheme):
+    """AES-GCM (or HMAC-stream fallback) probabilistic row encryption.
+
+    Parameters
+    ----------
+    key:
+        The owner's secret key; derived sub-keys are used for row encryption
+        and address blinding.
+    """
+
+    name = "non-deterministic"
+
+    def __init__(self, key: SecretKey | None = None):
+        self._key = key or SecretKey.generate()
+        self._row_key = self._key.derive("row")
+        self._addr_key = self._key.derive("addr")
+        # Owner-side metadata: attribute -> value -> [rid, ...]
+        self._address_book: Dict[str, Dict[object, List[int]]] = defaultdict(
+            lambda: defaultdict(list)
+        )
+
+    @property
+    def leakage(self) -> LeakageProfile:
+        return LeakageProfile(
+            name=self.name,
+            leaks_output_size=True,
+            leaks_frequency=False,
+            leaks_order=False,
+            leaks_access_pattern=True,
+            deterministic=False,
+        )
+
+    # -- owner side -----------------------------------------------------------
+    def encrypt_rows(self, rows: Sequence[Row], attribute: str) -> List[EncryptedRow]:
+        encrypted: List[EncryptedRow] = []
+        for row in rows:
+            payload = pickle.dumps(
+                {"rid": row.rid, "values": dict(row.values), "sensitive": row.sensitive}
+            )
+            ciphertext = aead_encrypt(self._row_key, payload)
+            self._address_book[attribute][row[attribute]].append(row.rid)
+            encrypted.append(
+                EncryptedRow(rid=row.rid, ciphertext=ciphertext, search_tag=b"")
+            )
+        return encrypted
+
+    def tokens_for_values(
+        self, values: Sequence[object], attribute: str
+    ) -> List[SearchToken]:
+        """Resolve values to blinded address tokens using owner metadata."""
+        tokens: List[SearchToken] = []
+        book = self._address_book.get(attribute, {})
+        for value in values:
+            for rid in book.get(value, []):
+                blinded = prf(self._addr_key.material, encode_value(rid))
+                tokens.append(SearchToken(payload=blinded, hint=rid))
+        return tokens
+
+    def decrypt_row(self, encrypted: EncryptedRow) -> Row:
+        payload = pickle.loads(aead_decrypt(self._row_key, encrypted.ciphertext))
+        return Row(
+            rid=payload["rid"], values=payload["values"], sensitive=payload["sensitive"]
+        )
+
+    # -- cloud side -------------------------------------------------------------
+    def search(
+        self, stored: Sequence[EncryptedRow], tokens: Sequence[SearchToken]
+    ) -> List[EncryptedRow]:
+        """Return the ciphertexts at the requested (blinded) addresses."""
+        wanted = {token.hint for token in tokens if token.hint is not None}
+        return [row for row in stored if row.rid in wanted]
+
+    # -- maintenance --------------------------------------------------------------
+    def forget_metadata(self, attribute: str) -> None:
+        """Drop the owner's address book for ``attribute`` (testing hook)."""
+        self._address_book.pop(attribute, None)
+
+    def known_values(self, attribute: str) -> List[object]:
+        """Values for which the owner holds address metadata."""
+        return list(self._address_book.get(attribute, {}))

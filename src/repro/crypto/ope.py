@@ -1,0 +1,85 @@
+"""A simple order-preserving encoder (OPE).
+
+The paper cites order-preserving encryption as the canonical example of a
+technique that trades security for functionality: ciphertext order equals
+plaintext order, which — combined with deterministic encryption and low-entropy
+domains — lets an adversary recover the data by frequency/order analysis
+(refs [11], [12]).
+
+This module implements a keyed, stateful, order-preserving *encoding* over an
+explicit domain: each plaintext is mapped to a code drawn from monotonically
+increasing pseudo-random gaps.  It is used only to demonstrate attacks and to
+contrast with QB; it is **not** a secure primitive and says so loudly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, List, Sequence
+
+from repro.crypto.primitives import SecretKey, encode_value, prf_int
+from repro.exceptions import CryptoError
+
+
+class OrderPreservingEncoder:
+    """Keyed order-preserving encoding over a fixed, sortable domain.
+
+    Parameters
+    ----------
+    key:
+        Secret key; determines the pseudo-random gaps.
+    max_gap:
+        Upper bound (exclusive) for the random gap inserted between
+        consecutive codes.  Larger gaps hide less about value spacing but the
+        scheme remains order-revealing by construction.
+    """
+
+    def __init__(self, key: SecretKey | None = None, max_gap: int = 1 << 16):
+        if max_gap < 2:
+            raise CryptoError("max_gap must be at least 2")
+        self._key = key or SecretKey.generate()
+        self._max_gap = max_gap
+        self._encode_map: Dict[object, int] = {}
+        self._decode_sorted: List[tuple] = []  # (code, value) sorted by code
+        self._domain: List[object] = []
+
+    @property
+    def is_built(self) -> bool:
+        return bool(self._encode_map)
+
+    def build(self, domain: Sequence[object]) -> None:
+        """Assign codes to every value in ``domain`` (sorted ascending)."""
+        values = sorted(set(domain))
+        if not values:
+            raise CryptoError("cannot build an OPE table over an empty domain")
+        code = 0
+        encode_map: Dict[object, int] = {}
+        for value in values:
+            gap = 1 + prf_int(self._key.material, b"ope|" + encode_value(value), self._max_gap)
+            code += gap
+            encode_map[value] = code
+        self._encode_map = encode_map
+        self._decode_sorted = sorted((c, v) for v, c in encode_map.items())
+        self._domain = values
+
+    def encode(self, value: object) -> int:
+        """Order-preserving code of ``value``; raises for unknown values."""
+        try:
+            return self._encode_map[value]
+        except KeyError:
+            raise CryptoError(f"value {value!r} is not in the OPE domain") from None
+
+    def decode(self, code: int) -> object:
+        """Exact inverse of :meth:`encode`."""
+        index = bisect_left(self._decode_sorted, (code, ))
+        if index < len(self._decode_sorted) and self._decode_sorted[index][0] == code:
+            return self._decode_sorted[index][1]
+        raise CryptoError(f"code {code} does not correspond to any domain value")
+
+    def encode_many(self, values: Sequence[object]) -> List[int]:
+        return [self.encode(value) for value in values]
+
+    def order_preserved(self) -> bool:
+        """Sanity check: encoding is strictly monotone over the domain."""
+        codes = [self._encode_map[value] for value in self._domain]
+        return all(a < b for a, b in zip(codes, codes[1:]))

@@ -1,0 +1,248 @@
+"""Path ORAM — hiding access patterns on the (simulated) cloud.
+
+The paper repeatedly notes that QB does not hide *access patterns* (which
+encrypted tuple addresses are touched) and that ORAM/PIR can be layered on the
+sensitive side to close that channel, at a cost QB then amortises.  This
+module provides a textbook Path ORAM (Stefanov et al.) over an untrusted block
+store:
+
+* the server stores a complete binary tree of buckets, each holding up to
+  ``bucket_size`` encrypted blocks (real or dummy);
+* the client keeps a position map (block id → leaf) and a stash;
+* every access reads one root-to-leaf path, remaps the block to a fresh random
+  leaf, and greedily writes blocks back as deep as their (new) positions allow.
+
+From the server's point of view every access is a uniformly random path of
+freshly re-encrypted buckets, so reads are indistinguishable from writes and
+repeated accesses to the same block are indistinguishable from accesses to
+different blocks.
+"""
+
+from __future__ import annotations
+
+import math
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.crypto.primitives import SecretKey, aead_decrypt, aead_encrypt
+from repro.exceptions import CryptoError
+
+DUMMY_BLOCK_ID = -1
+
+
+@dataclass
+class Block:
+    """A logical ORAM block (plaintext form, only ever seen by the client)."""
+
+    block_id: int
+    data: bytes
+
+
+class PathORAMServer:
+    """The untrusted block store: a complete binary tree of encrypted buckets.
+
+    The server only ever sees opaque ciphertexts and path indexes; it records
+    how many bucket reads/writes it served so tests can confirm that accesses
+    touch exactly one path.
+    """
+
+    def __init__(self, num_buckets: int):
+        if num_buckets < 1:
+            raise CryptoError("the ORAM tree needs at least one bucket")
+        self._buckets: List[List[bytes]] = [[] for _ in range(num_buckets)]
+        self.bucket_reads = 0
+        self.bucket_writes = 0
+
+    def read_bucket(self, index: int) -> List[bytes]:
+        self.bucket_reads += 1
+        return list(self._buckets[index])
+
+    def write_bucket(self, index: int, ciphertexts: List[bytes]) -> None:
+        self.bucket_writes += 1
+        self._buckets[index] = list(ciphertexts)
+
+    def __len__(self) -> int:
+        return len(self._buckets)
+
+
+@dataclass
+class ORAMStatistics:
+    """Client-side accounting."""
+
+    accesses: int = 0
+    stash_peak: int = 0
+
+
+class PathORAM:
+    """Path ORAM client.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of distinct logical blocks the ORAM must hold.
+    key:
+        Client secret key used to encrypt blocks before they reach the server.
+    bucket_size:
+        Blocks per bucket (the classic construction uses 4).
+    server:
+        Optionally share a server instance; a fresh one is created otherwise.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        key: Optional[SecretKey] = None,
+        bucket_size: int = 4,
+        server: Optional[PathORAMServer] = None,
+    ):
+        if capacity < 1:
+            raise CryptoError("ORAM capacity must be at least 1")
+        if bucket_size < 1:
+            raise CryptoError("bucket_size must be at least 1")
+        self.capacity = capacity
+        self.bucket_size = bucket_size
+        self._key = (key or SecretKey.generate()).derive("path-oram")
+        # Tree height: enough leaves to give each block its own leaf on average.
+        self._height = max(1, math.ceil(math.log2(max(2, capacity))))
+        self._num_leaves = 1 << self._height
+        num_buckets = 2 * self._num_leaves - 1
+        self.server = server or PathORAMServer(num_buckets)
+        if len(self.server) != num_buckets:
+            raise CryptoError("shared server has the wrong tree size")
+        self._position: Dict[int, int] = {}
+        self._stash: Dict[int, bytes] = {}
+        self.stats = ORAMStatistics()
+        self._initialise_tree()
+
+    # -- tree geometry ---------------------------------------------------------
+    def _leaf_to_node(self, leaf: int) -> int:
+        return leaf + self._num_leaves - 1
+
+    def _path_nodes(self, leaf: int) -> List[int]:
+        """Bucket indexes from the leaf up to the root."""
+        node = self._leaf_to_node(leaf)
+        path = [node]
+        while node > 0:
+            node = (node - 1) // 2
+            path.append(node)
+        return path
+
+    def _initialise_tree(self) -> None:
+        """Fill every bucket with encrypted dummy blocks."""
+        for index in range(len(self.server)):
+            self.server.write_bucket(
+                index, [self._encrypt_block(Block(DUMMY_BLOCK_ID, b"")) for _ in range(self.bucket_size)]
+            )
+
+    # -- block encryption ----------------------------------------------------------
+    def _encrypt_block(self, block: Block) -> bytes:
+        payload = block.block_id.to_bytes(8, "big", signed=True) + block.data
+        return aead_encrypt(self._key, payload)
+
+    def _decrypt_block(self, ciphertext: bytes) -> Block:
+        payload = aead_decrypt(self._key, ciphertext)
+        block_id = int.from_bytes(payload[:8], "big", signed=True)
+        return Block(block_id=block_id, data=payload[8:])
+
+    # -- the access protocol ----------------------------------------------------------
+    def _access(self, block_id: int, new_data: Optional[bytes]) -> Optional[bytes]:
+        if not 0 <= block_id < self.capacity:
+            raise CryptoError(
+                f"block id {block_id} outside ORAM capacity [0, {self.capacity})"
+            )
+        self.stats.accesses += 1
+
+        leaf = self._position.get(block_id)
+        if leaf is None:
+            leaf = secrets.randbelow(self._num_leaves)
+        # Remap to a fresh random leaf *before* reading (standard Path ORAM).
+        self._position[block_id] = secrets.randbelow(self._num_leaves)
+
+        # Read the whole path into the stash.
+        path = self._path_nodes(leaf)
+        for node in path:
+            for ciphertext in self.server.read_bucket(node):
+                block = self._decrypt_block(ciphertext)
+                if block.block_id != DUMMY_BLOCK_ID:
+                    self._stash.setdefault(block.block_id, block.data)
+
+        result = self._stash.get(block_id)
+        if new_data is not None:
+            self._stash[block_id] = new_data
+            result = new_data
+
+        self._write_back(path)
+        self.stats.stash_peak = max(self.stats.stash_peak, len(self._stash))
+        return result
+
+    def _write_back(self, path: List[int]) -> None:
+        """Greedily push stash blocks as deep as their positions allow."""
+        for node in path:  # path is ordered leaf -> root, i.e. deepest first
+            eligible = [
+                block_id
+                for block_id in self._stash
+                if node in self._path_nodes(self._position[block_id])
+            ]
+            chosen = eligible[: self.bucket_size]
+            bucket = [
+                self._encrypt_block(Block(block_id, self._stash.pop(block_id)))
+                for block_id in chosen
+            ]
+            while len(bucket) < self.bucket_size:
+                bucket.append(self._encrypt_block(Block(DUMMY_BLOCK_ID, b"")))
+            self.server.write_bucket(node, bucket)
+
+    # -- public API ----------------------------------------------------------------------
+    def write(self, block_id: int, data: bytes) -> None:
+        """Store ``data`` under ``block_id``."""
+        self._access(block_id, data)
+
+    def read(self, block_id: int) -> Optional[bytes]:
+        """Return the data stored under ``block_id`` (``None`` if never written)."""
+        return self._access(block_id, None)
+
+    @property
+    def stash_size(self) -> int:
+        return len(self._stash)
+
+    @property
+    def path_length(self) -> int:
+        """Buckets touched per access (tree height + 1)."""
+        return self._height + 1
+
+
+class ObliviousRowStore:
+    """Convenience layer: store/retrieve relation rows by rid through Path ORAM.
+
+    Used to demonstrate the paper's remark that QB composes with
+    access-pattern-hiding techniques: the sensitive bin's tuples can be
+    fetched through ORAM so the cloud does not even learn which encrypted
+    rows were touched.
+    """
+
+    def __init__(self, capacity: int, key: Optional[SecretKey] = None):
+        self._oram = PathORAM(capacity=capacity, key=key)
+        self._rid_to_block: Dict[int, int] = {}
+
+    def store_row(self, rid: int, payload: bytes) -> None:
+        block_id = self._rid_to_block.setdefault(rid, len(self._rid_to_block))
+        if block_id >= self._oram.capacity:
+            raise CryptoError("oblivious store capacity exceeded")
+        self._oram.write(block_id, payload)
+
+    def fetch_row(self, rid: int) -> Optional[bytes]:
+        block_id = self._rid_to_block.get(rid)
+        if block_id is None:
+            # Perform a dummy access so misses are indistinguishable from hits.
+            self._oram.read(secrets.randbelow(max(1, len(self._rid_to_block) or 1)))
+            return None
+        return self._oram.read(block_id)
+
+    @property
+    def accesses(self) -> int:
+        return self._oram.stats.accesses
+
+    @property
+    def server(self) -> PathORAMServer:
+        return self._oram.server

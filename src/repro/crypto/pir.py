@@ -1,0 +1,118 @@
+"""Two-server private information retrieval (PIR) built on the DPF.
+
+The paper lists PIR among the access-pattern-hiding techniques that QB can be
+combined with.  This module implements the classic two-server PIR from
+distributed point functions: the client secret-shares the point function
+``f_{α,1}`` between two non-colluding servers, each server returns the inner
+product of its share vector with the database, and the client adds the two
+responses to obtain record α — while neither server learns anything about α.
+
+Records are arbitrary byte strings; they are transported as chunks of
+7 bytes so each chunk fits comfortably below the DPF's 61-bit output modulus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.crypto.dpf import DPFKey, DistributedPointFunction, OUTPUT_MODULUS
+from repro.exceptions import CryptoError
+
+_CHUNK_BYTES = 7
+
+
+def _pad_length(record_size: int) -> int:
+    """Number of chunks needed for records of ``record_size`` bytes."""
+    return (record_size + _CHUNK_BYTES - 1) // _CHUNK_BYTES
+
+
+def _encode_record(record: bytes, record_size: int) -> List[int]:
+    """Split a record into fixed-size integer chunks (with length prefix)."""
+    if len(record) > record_size:
+        raise CryptoError(
+            f"record of {len(record)} bytes exceeds the fixed record size {record_size}"
+        )
+    padded = record.ljust(record_size, b"\x00")
+    return [
+        int.from_bytes(padded[offset : offset + _CHUNK_BYTES], "big")
+        for offset in range(0, record_size, _CHUNK_BYTES)
+    ]
+
+
+def _decode_record(chunks: Sequence[int], record_size: int) -> bytes:
+    blob = b"".join(
+        chunk.to_bytes(min(_CHUNK_BYTES, record_size - index * _CHUNK_BYTES), "big")
+        for index, chunk in enumerate(chunks)
+    )
+    return blob
+
+
+@dataclass
+class PIRServer:
+    """One of the two non-colluding servers: holds the full (public-to-it)
+    encoded database and answers DPF-share queries."""
+
+    encoded_records: List[List[int]]
+    domain_bits: int
+
+    def answer(self, key: DPFKey) -> List[int]:
+        """Inner product of the DPF share vector with every chunk column."""
+        dpf = DistributedPointFunction(self.domain_bits)
+        shares = dpf.evaluate_full(key)
+        num_chunks = len(self.encoded_records[0]) if self.encoded_records else 0
+        response = [0] * num_chunks
+        for index, record_chunks in enumerate(self.encoded_records):
+            share = shares[index]
+            if share == 0:
+                continue
+            for chunk_index, chunk in enumerate(record_chunks):
+                response[chunk_index] = (
+                    response[chunk_index] + share * chunk
+                ) % OUTPUT_MODULUS
+        return response
+
+
+class TwoServerPIR:
+    """Client-side orchestration of the two-server DPF-based PIR."""
+
+    def __init__(self, records: Sequence[bytes], record_size: Optional[int] = None):
+        if not records:
+            raise CryptoError("the PIR database must contain at least one record")
+        self.record_size = record_size or max(len(record) for record in records)
+        if self.record_size < 1:
+            raise CryptoError("records must be at least one byte long")
+        if max(len(record) for record in records) > self.record_size:
+            raise CryptoError("a record exceeds the declared record size")
+        self.num_records = len(records)
+        self.domain_bits = max(1, (self.num_records - 1).bit_length())
+        encoded = [_encode_record(record, self.record_size) for record in records]
+        # Pad the domain to a power of two with all-zero records.
+        zero = [0] * _pad_length(self.record_size)
+        while len(encoded) < (1 << self.domain_bits):
+            encoded.append(list(zero))
+        self.servers: Tuple[PIRServer, PIRServer] = (
+            PIRServer(encoded_records=encoded, domain_bits=self.domain_bits),
+            PIRServer(encoded_records=encoded, domain_bits=self.domain_bits),
+        )
+        self._dpf = DistributedPointFunction(self.domain_bits)
+        self.queries_issued = 0
+
+    def retrieve(self, index: int) -> bytes:
+        """Privately retrieve record ``index``."""
+        if not 0 <= index < self.num_records:
+            raise CryptoError(
+                f"record index {index} outside the database [0, {self.num_records})"
+            )
+        key0, key1 = self._dpf.generate(alpha=index, beta=1)
+        response0 = self.servers[0].answer(key0)
+        response1 = self.servers[1].answer(key1)
+        chunks = [
+            (a + b) % OUTPUT_MODULUS for a, b in zip(response0, response1)
+        ]
+        self.queries_issued += 1
+        return _decode_record(chunks, self.record_size)
+
+    def retrieve_many(self, indexes: Sequence[int]) -> List[bytes]:
+        """Retrieve several records (one independent PIR query each)."""
+        return [self.retrieve(index) for index in indexes]

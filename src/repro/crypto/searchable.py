@@ -1,0 +1,112 @@
+"""Searchable symmetric encryption (SSE) in the style of Song-Wagner-Perrig.
+
+Ciphertexts are probabilistic at rest (per-row nonces), so the stored data
+does not leak frequencies.  A search token for a value lets the cloud test
+every stored row for a match, revealing — per query — which rows matched
+(access pattern) and how many (output size), and repeated queries for the
+same value produce the same token (workload-skew signal).
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import List, Sequence
+
+from repro.crypto.base import (
+    EncryptedRow,
+    EncryptedSearchScheme,
+    LeakageProfile,
+    SearchToken,
+)
+from repro.crypto.primitives import (
+    NONCE_BYTES,
+    SecretKey,
+    aead_decrypt,
+    aead_encrypt,
+    constant_time_equals,
+    encode_value,
+    prf,
+    random_bytes,
+)
+from repro.data.relation import Row
+from repro.exceptions import CryptoError
+
+
+class SSEScheme(EncryptedSearchScheme):
+    """Token-tested searchable encryption.
+
+    Each stored row carries ``nonce || PRF(token_v, nonce)`` for its value of
+    the searched attribute, where ``token_v = PRF(k, v)``.  The cloud matches
+    a query token by recomputing the PRF over each stored nonce.
+    """
+
+    name = "sse"
+
+    def __init__(self, key: SecretKey | None = None):
+        self._key = key or SecretKey.generate()
+        self._row_key = self._key.derive("row")
+        self._token_key = self._key.derive("token")
+
+    @property
+    def leakage(self) -> LeakageProfile:
+        return LeakageProfile(
+            name=self.name,
+            leaks_output_size=True,
+            leaks_frequency=False,
+            leaks_order=False,
+            leaks_access_pattern=True,
+            deterministic=False,
+        )
+
+    def _value_token(self, attribute: str, value: object) -> bytes:
+        return prf(
+            self._token_key.material, attribute.encode() + b"|" + encode_value(value)
+        )
+
+    # -- owner side -------------------------------------------------------------
+    def encrypt_rows(self, rows: Sequence[Row], attribute: str) -> List[EncryptedRow]:
+        encrypted: List[EncryptedRow] = []
+        for row in rows:
+            payload = pickle.dumps(
+                {"rid": row.rid, "values": dict(row.values), "sensitive": row.sensitive}
+            )
+            nonce = random_bytes(NONCE_BYTES)
+            token = self._value_token(attribute, row[attribute])
+            tag = prf(token, nonce)
+            encrypted.append(
+                EncryptedRow(
+                    rid=row.rid,
+                    ciphertext=aead_encrypt(self._row_key, payload),
+                    search_tag=nonce + tag,
+                )
+            )
+        return encrypted
+
+    def tokens_for_values(
+        self, values: Sequence[object], attribute: str
+    ) -> List[SearchToken]:
+        return [
+            SearchToken(payload=self._value_token(attribute, value)) for value in values
+        ]
+
+    def decrypt_row(self, encrypted: EncryptedRow) -> Row:
+        payload = pickle.loads(aead_decrypt(self._row_key, encrypted.ciphertext))
+        return Row(
+            rid=payload["rid"], values=payload["values"], sensitive=payload["sensitive"]
+        )
+
+    # -- cloud side ----------------------------------------------------------------
+    def search(
+        self, stored: Sequence[EncryptedRow], tokens: Sequence[SearchToken]
+    ) -> List[EncryptedRow]:
+        matches: List[EncryptedRow] = []
+        for row in stored:
+            if len(row.search_tag) < NONCE_BYTES:
+                raise CryptoError("malformed SSE search tag")
+            nonce = row.search_tag[:NONCE_BYTES]
+            tag = row.search_tag[NONCE_BYTES:]
+            for token in tokens:
+                if constant_time_equals(prf(token.payload, nonce), tag):
+                    matches.append(row)
+                    break
+        return matches

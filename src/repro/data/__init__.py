@@ -1,0 +1,21 @@
+"""Relational data substrate: schemas, relations, rows, and partitioning.
+
+The paper's setting is a single relation ``R`` that the trusted DB owner
+splits by *row-level sensitivity* into a sensitive sub-relation ``Rs`` and a
+non-sensitive sub-relation ``Rns``.  This package provides the in-memory
+relational building blocks the rest of the library operates on.
+"""
+
+from repro.data.schema import Attribute, Schema
+from repro.data.relation import Relation, Row
+from repro.data.partition import PartitionResult, SensitivityPolicy, partition_relation
+
+__all__ = [
+    "Attribute",
+    "Schema",
+    "Relation",
+    "Row",
+    "PartitionResult",
+    "SensitivityPolicy",
+    "partition_relation",
+]

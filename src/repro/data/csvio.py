@@ -1,0 +1,98 @@
+"""CSV import/export for relations.
+
+The reproduction ships synthetic workload generators, but downstream users
+will typically want to load their own tables; CSV is the lowest common
+denominator.  Values are stored as strings unless the schema declares a
+numeric dtype, in which case they are parsed on load.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Optional, Sequence, Union
+
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import SchemaError
+
+PathLike = Union[str, Path]
+
+
+def write_csv(relation: Relation, path: PathLike, include_rid: bool = False) -> None:
+    """Write ``relation`` to ``path`` as a CSV file with a header row."""
+    path = Path(path)
+    fieldnames = list(relation.schema.names)
+    if include_rid:
+        fieldnames = ["__rid__"] + fieldnames
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=fieldnames)
+        writer.writeheader()
+        for row in relation:
+            record = {name: row[name] for name in relation.schema.names}
+            if include_rid:
+                record["__rid__"] = row.rid
+            writer.writerow(record)
+
+
+def read_csv(
+    path: PathLike,
+    name: Optional[str] = None,
+    schema: Optional[Schema] = None,
+    sensitive: bool = False,
+) -> Relation:
+    """Load a CSV file into a :class:`Relation`.
+
+    When ``schema`` is omitted, one is inferred from the header with all
+    attributes typed as ``str``.  A ``__rid__`` column produced by
+    :func:`write_csv` is honoured and restored as the row identifier.
+    """
+    path = Path(path)
+    with path.open("r", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None:
+            raise SchemaError(f"CSV file {path} has no header row")
+        header = [f for f in reader.fieldnames if f != "__rid__"]
+        has_rid = "__rid__" in reader.fieldnames
+        if schema is None:
+            schema = Schema(Attribute(name=f, dtype=str) for f in header)
+        relation = Relation(name or path.stem, schema)
+        for record in reader:
+            values = {
+                attr.name: _coerce(record.get(attr.name), attr.dtype)
+                for attr in schema
+            }
+            rid = int(record["__rid__"]) if has_rid else None
+            relation.insert(values, sensitive=sensitive, rid=rid)
+    return relation
+
+
+def _coerce(raw: Optional[str], dtype: type) -> object:
+    """Convert a raw CSV string to the schema's dtype."""
+    if raw is None or raw == "":
+        return None
+    if dtype is str:
+        return raw
+    if dtype is int:
+        return int(raw)
+    if dtype is float:
+        return float(raw)
+    if dtype is bool:
+        return raw.strip().lower() in {"1", "true", "yes"}
+    return raw
+
+
+def round_trip_equal(first: Relation, second: Relation) -> bool:
+    """Check that two relations contain the same rows (ignoring order).
+
+    Utility used by tests to verify CSV round-trips.
+    """
+    if first.schema.names != second.schema.names:
+        return False
+    left = sorted(map(_row_key, first.to_dicts()))
+    right = sorted(map(_row_key, second.to_dicts()))
+    return left == right
+
+
+def _row_key(values: dict) -> tuple:
+    return tuple(sorted((k, str(v)) for k, v in values.items()))

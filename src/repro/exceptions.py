@@ -1,0 +1,56 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised intentionally by the library derives from
+:class:`ReproError` so that callers can catch library failures without
+accidentally swallowing programming errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class SchemaError(ReproError):
+    """A relation or row does not conform to its declared schema."""
+
+
+class UnknownAttributeError(SchemaError):
+    """An operation referenced an attribute that is not in the schema."""
+
+
+class PartitioningError(ReproError):
+    """Sensitive/non-sensitive partitioning could not be performed."""
+
+
+class BinningError(ReproError):
+    """Bin creation failed (e.g. inconsistent inputs to Algorithm 1)."""
+
+
+class BinLookupError(BinningError):
+    """A query value could not be located in any bin (Algorithm 2)."""
+
+
+class QueryError(ReproError):
+    """A query is malformed or refers to unknown attributes."""
+
+
+class CryptoError(ReproError):
+    """A cryptographic operation failed (bad key, corrupted ciphertext...)."""
+
+
+class IntegrityError(CryptoError):
+    """Authenticated decryption failed; the ciphertext was tampered with."""
+
+
+class CloudError(ReproError):
+    """The (simulated) cloud could not execute the requested operation."""
+
+
+class SecurityViolation(ReproError):
+    """A partitioned-data-security invariant was found to be violated."""
+
+
+class ConfigurationError(ReproError):
+    """A component was configured with inconsistent or missing parameters."""

@@ -1,0 +1,22 @@
+"""Extensions described in the paper's full version (§I "Full version").
+
+The conference paper defers several capabilities to its technical report:
+range queries, equi-joins over the binned attribute, inserts, and
+multi-attribute (column-level) search.  These modules implement practical
+versions of each on top of the core QB engine so the reproduction covers the
+paper's stated scope rather than only the headline selection path.
+"""
+
+from repro.extensions.range_queries import RangeQueryExecutor
+from repro.extensions.joins import BinnedJoinExecutor
+from repro.extensions.inserts import IncrementalInserter
+from repro.extensions.multi_attribute import MultiAttributeEngine
+from repro.extensions.aggregation import GroupByAggregator
+
+__all__ = [
+    "RangeQueryExecutor",
+    "BinnedJoinExecutor",
+    "IncrementalInserter",
+    "MultiAttributeEngine",
+    "GroupByAggregator",
+]

@@ -1,0 +1,27 @@
+"""Analytical performance model of §V-A.
+
+The model compares the cost of answering a selection query with QB (search a
+sensitive bin cryptographically + a non-sensitive bin in cleartext + ship the
+results) against running the cryptographic technique over the *entire*
+dataset.  The headline quantity is η: QB wins whenever η < 1.
+"""
+
+from repro.model.parameters import CostParameters
+from repro.model.cost import (
+    break_even_alpha,
+    cost_crypt,
+    cost_plain,
+    eta_full,
+    eta_simplified,
+    eta_sweep,
+)
+
+__all__ = [
+    "CostParameters",
+    "cost_plain",
+    "cost_crypt",
+    "eta_full",
+    "eta_simplified",
+    "eta_sweep",
+    "break_even_alpha",
+]

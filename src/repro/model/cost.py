@@ -1,0 +1,129 @@
+"""Cost functions and the η ratio of §V-A.
+
+The model's structure:
+
+* ``cost_plain(x, D)`` — cost of ``x`` cleartext selection probes over a
+  ``D``-tuple relation plus shipping the matching tuples:
+  ``x · (log(D) · Cp + ρ · D · Ccom)``.
+* ``cost_crypt(x, D)`` — cost of ``x`` encrypted selections: one amortised
+  encrypted pass over the data plus shipping the matches:
+  ``Ce · D + ρ · x · D · Ccom``.
+* ``eta_full`` — the exact ratio
+  ``Costcrypt(|SB|, S)/Costcrypt(1, D) + Costplain(|NSB|, NS)/Costcrypt(1, D)``.
+* ``eta_simplified`` — the paper's closed form ``η = α + ρ(|SB|+|NSB|)/γ``
+  (valid because ρ/γ ≪ 1 and log(D)·|NSB|/(D·β) ≪ 1).
+* ``break_even_alpha`` — the largest sensitivity fraction for which QB still
+  beats full encryption: ``α < 1 − 2ρ√|NS|/γ``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.exceptions import ConfigurationError
+from repro.model.parameters import CostParameters
+
+
+def cost_plain(num_probes: int, num_tuples: int, params: CostParameters) -> float:
+    """Cost (seconds) of ``num_probes`` cleartext selections over ``num_tuples``."""
+    if num_tuples <= 0:
+        return 0.0
+    log_term = math.log2(num_tuples) if num_tuples > 1 else 1.0
+    per_probe = log_term * params.plaintext_cost + params.rho * num_tuples * params.communication_cost
+    return num_probes * per_probe
+
+
+def cost_crypt(num_probes: int, num_tuples: int, params: CostParameters) -> float:
+    """Cost (seconds) of ``num_probes`` encrypted selections over ``num_tuples``.
+
+    The encrypted pass is amortised over the probes (a single scan can test
+    all of them), so processing does not scale with ``num_probes`` — only the
+    shipped results do.
+    """
+    if num_tuples <= 0:
+        return 0.0
+    processing = params.encrypted_cost * num_tuples
+    communication = params.rho * num_probes * num_tuples * params.communication_cost
+    return processing + communication
+
+
+def eta_full(
+    sensitive_tuples: int,
+    non_sensitive_tuples: int,
+    sensitive_bin_width: int,
+    non_sensitive_bin_width: int,
+    params: CostParameters,
+) -> float:
+    """The exact η ratio from the component costs."""
+    total = sensitive_tuples + non_sensitive_tuples
+    if total <= 0:
+        raise ConfigurationError("the dataset must contain at least one tuple")
+    baseline = cost_crypt(1, total, params)
+    qb_cost = cost_crypt(sensitive_bin_width, sensitive_tuples, params) + cost_plain(
+        non_sensitive_bin_width, non_sensitive_tuples, params
+    )
+    return qb_cost / baseline
+
+
+def eta_simplified(
+    alpha: float,
+    sensitive_bin_width: int,
+    non_sensitive_bin_width: int,
+    params: CostParameters,
+) -> float:
+    """The paper's closed form η = α + ρ(|SB| + |NSB|)/γ."""
+    if not 0 <= alpha <= 1:
+        raise ConfigurationError("alpha must be in [0, 1]")
+    return alpha + params.rho * (sensitive_bin_width + non_sensitive_bin_width) / params.gamma
+
+
+def break_even_alpha(num_non_sensitive_values: int, params: CostParameters) -> float:
+    """Largest α for which QB beats the fully-encrypted baseline.
+
+    Uses the uniform-distribution simplification ρ ≈ 1/|NS| of §V-A:
+    α < 1 − 2 / (γ √|NS|).
+    """
+    if num_non_sensitive_values <= 0:
+        raise ConfigurationError("need a positive number of non-sensitive values")
+    return 1.0 - 2.0 / (params.gamma * math.sqrt(num_non_sensitive_values))
+
+
+def eta_sweep(
+    gammas: Sequence[float],
+    alphas: Sequence[float],
+    num_non_sensitive_values: int,
+    rho: float = 0.10,
+) -> Dict[float, List[Tuple[float, float]]]:
+    """The Figure 6a sweep: η(γ) curves, one per α.
+
+    Bin widths are set to the square-root heuristic |SB| = |NSB| = √|NS|
+    (the optimum the paper identifies in Figure 6c).
+
+    Returns ``{alpha: [(gamma, eta), ...]}``.
+    """
+    if num_non_sensitive_values <= 0:
+        raise ConfigurationError("need a positive number of non-sensitive values")
+    width = max(1, round(math.sqrt(num_non_sensitive_values)))
+    curves: Dict[float, List[Tuple[float, float]]] = {}
+    for alpha in alphas:
+        points = []
+        for gamma in gammas:
+            params = CostParameters.from_ratios(gamma=gamma, selectivity=rho)
+            points.append((gamma, eta_simplified(alpha, width, width, params)))
+        curves[alpha] = points
+    return curves
+
+
+def crossover_gamma(
+    alpha: float, num_non_sensitive_values: int, rho: float = 0.10
+) -> float:
+    """The γ above which QB wins (η < 1) for a given α and |NS|.
+
+    Solving η = α + 2ρ√|NS|/γ = 1 for γ gives γ* = 2ρ√|NS| / (1 − α);
+    undefined (infinite) for α ≥ 1.
+    """
+    if alpha >= 1.0:
+        return math.inf
+    width = math.sqrt(max(num_non_sensitive_values, 1))
+    return 2.0 * rho * width / (1.0 - alpha)

@@ -1,0 +1,100 @@
+"""Parameters of the analytical cost model.
+
+Symbols follow the paper:
+
+* ``Ccom`` — time to move one tuple between cloud and owner (seconds);
+* ``Cp`` — time for one selection probe on cleartext data (seconds);
+* ``Ce`` — time for one selection "pass" on encrypted data (seconds);
+* ``alpha`` (α) — fraction of the dataset that is sensitive;
+* ``beta`` (β) = Ce / Cp — overhead of the cryptographic technique;
+* ``gamma`` (γ) = Ce / Ccom — crypto processing relative to communication;
+* ``rho`` (ρ) — query selectivity (fraction of tuples matching a predicate).
+
+The paper's worked numbers: secret-sharing search ≈ 10 ms, shipping one
+≈ 200-byte tuple over 30 Mbps ≈ 4 µs, hence γ ≈ 2.5 × 10³-10⁴ and QB wins for
+essentially every α.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import ConfigurationError
+
+
+@dataclass(frozen=True)
+class CostParameters:
+    """A consistent set of model parameters.
+
+    Either construct directly from primitive costs (``Ccom``, ``Cp``, ``Ce``)
+    or use :meth:`from_ratios` when only the paper's ratios are known.
+    """
+
+    communication_cost: float  # Ccom, seconds per tuple
+    plaintext_cost: float      # Cp, seconds per probe
+    encrypted_cost: float      # Ce, seconds per encrypted pass/probe
+    selectivity: float = 0.01  # rho
+
+    def __post_init__(self) -> None:
+        if min(self.communication_cost, self.plaintext_cost, self.encrypted_cost) <= 0:
+            raise ConfigurationError("all costs must be strictly positive")
+        if not 0 < self.selectivity <= 1:
+            raise ConfigurationError("selectivity must be in (0, 1]")
+
+    # -- the paper's ratios ----------------------------------------------------
+    @property
+    def beta(self) -> float:
+        """β = Ce / Cp — cryptographic overhead relative to cleartext."""
+        return self.encrypted_cost / self.plaintext_cost
+
+    @property
+    def gamma(self) -> float:
+        """γ = Ce / Ccom — cryptographic processing relative to communication."""
+        return self.encrypted_cost / self.communication_cost
+
+    @property
+    def rho(self) -> float:
+        return self.selectivity
+
+    # -- constructors ------------------------------------------------------------
+    @classmethod
+    def from_ratios(
+        cls,
+        gamma: float,
+        beta: float = 1000.0,
+        communication_cost: float = 4e-6,
+        selectivity: float = 0.01,
+    ) -> "CostParameters":
+        """Build parameters from the ratios the paper plots against.
+
+        ``Ccom`` defaults to the paper's ≈4 µs per tuple; ``Ce`` and ``Cp``
+        are derived from γ and β.
+        """
+        if gamma <= 0 or beta <= 0:
+            raise ConfigurationError("gamma and beta must be positive")
+        encrypted_cost = gamma * communication_cost
+        plaintext_cost = encrypted_cost / beta
+        return cls(
+            communication_cost=communication_cost,
+            plaintext_cost=plaintext_cost,
+            encrypted_cost=encrypted_cost,
+            selectivity=selectivity,
+        )
+
+    @classmethod
+    def paper_defaults(cls, selectivity: float = 0.01) -> "CostParameters":
+        """The parameter point the paper quotes for secret-sharing search."""
+        return cls(
+            communication_cost=4e-6,   # ~200 B tuple over ~30 Mbps
+            plaintext_cost=1e-5,       # cleartext index probe
+            encrypted_cost=1e-2,       # ~10 ms secret-sharing search
+            selectivity=selectivity,
+        )
+
+    def with_selectivity(self, selectivity: float) -> "CostParameters":
+        return CostParameters(
+            communication_cost=self.communication_cost,
+            plaintext_cost=self.plaintext_cost,
+            encrypted_cost=self.encrypted_cost,
+            selectivity=selectivity,
+        )

@@ -1,0 +1,12 @@
+"""The trusted DB owner.
+
+The owner partitions the relation, manages keys, runs QB setup for each
+searchable attribute, rewrites queries, and merges results.  The
+:class:`~repro.owner.db_owner.DBOwner` façade is the highest-level entry point
+of the library — the examples use it almost exclusively.
+"""
+
+from repro.owner.keystore import KeyStore
+from repro.owner.db_owner import DBOwner
+
+__all__ = ["KeyStore", "DBOwner"]

@@ -1,0 +1,163 @@
+"""The trusted DB-owner façade.
+
+:class:`DBOwner` is the highest-level API of the library.  It wires together
+the pieces a real deployment would need:
+
+1. partition the relation under a :class:`SensitivityPolicy`;
+2. pick (or accept) a cryptographic scheme per searchable attribute;
+3. run QB setup (bin creation, encryption, fake-tuple padding, outsourcing);
+4. answer selection queries by rewriting them through the bins and merging
+   the results;
+5. optionally audit the cloud's recorded views against the partitioned data
+   security definition.
+
+Example
+-------
+>>> from repro.owner import DBOwner
+>>> from repro.workloads.employee import build_employee_relation, employee_policy
+>>> owner = DBOwner(build_employee_relation(), employee_policy())
+>>> owner.outsource("EId")
+>>> [row["LastName"] for row in owner.query("EId", "E259")]
+['Williams', 'Williams']
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.adversary.auditor import PartitionedSecurityAuditor, SecurityReport
+from repro.cloud.server import CloudServer
+from repro.core.engine import ExecutionTrace, QueryBinningEngine
+from repro.crypto.base import EncryptedSearchScheme
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.data.partition import PartitionResult, SensitivityPolicy, partition_relation
+from repro.data.relation import Relation, Row
+from repro.exceptions import ConfigurationError, QueryError
+from repro.owner.keystore import KeyStore
+
+SchemeFactory = Callable[[], EncryptedSearchScheme]
+
+
+class DBOwner:
+    """The trusted party that owns the data and the keys."""
+
+    def __init__(
+        self,
+        relation: Relation,
+        policy: SensitivityPolicy,
+        keystore: Optional[KeyStore] = None,
+        scheme_factory: Optional[SchemeFactory] = None,
+        cloud: Optional[CloudServer] = None,
+        permutation_seed: Optional[int] = None,
+    ):
+        self.relation = relation
+        self.policy = policy
+        self.keystore = keystore or KeyStore()
+        self.cloud = cloud or CloudServer()
+        self._scheme_factory = scheme_factory
+        self._permutation_seed = permutation_seed
+        self.partition: PartitionResult = partition_relation(relation, policy)
+        self._engines: Dict[str, QueryBinningEngine] = {}
+        self._schemes: Dict[str, EncryptedSearchScheme] = {}
+
+    # -- setup ------------------------------------------------------------------
+    def _make_scheme(self, attribute: str) -> EncryptedSearchScheme:
+        if self._scheme_factory is not None:
+            return self._scheme_factory()
+        return NonDeterministicScheme(key=self.keystore.scheme_key(attribute))
+
+    def outsource(
+        self,
+        attribute: str,
+        scheme: Optional[EncryptedSearchScheme] = None,
+        add_fake_tuples: bool = True,
+    ) -> QueryBinningEngine:
+        """Run QB setup for ``attribute`` and outsource both partitions.
+
+        Returns the engine, which is also cached so subsequent
+        :meth:`query` calls for the attribute reuse it.
+        """
+        if attribute in self._engines:
+            return self._engines[attribute]
+        chosen_scheme = scheme or self._make_scheme(attribute)
+        rng = (
+            random.Random(self._permutation_seed)
+            if self._permutation_seed is not None
+            else None
+        )
+        # Each attribute gets its own cloud-side store: a deployment would
+        # keep one encrypted copy of the relation with per-attribute search
+        # tags, but separating the stores keeps the per-attribute adversarial
+        # views and token spaces independent in the simulation.
+        attribute_cloud = self.cloud if not self._engines else CloudServer(
+            name=f"{self.cloud.name}/{attribute}"
+        )
+        engine = QueryBinningEngine(
+            partition=self.partition,
+            attribute=attribute,
+            scheme=chosen_scheme,
+            cloud=attribute_cloud,
+            add_fake_tuples=add_fake_tuples,
+            rng=rng,
+        )
+        engine.setup()
+        self._engines[attribute] = engine
+        self._schemes[attribute] = chosen_scheme
+        return engine
+
+    def engine_for(self, attribute: str) -> QueryBinningEngine:
+        try:
+            return self._engines[attribute]
+        except KeyError:
+            raise ConfigurationError(
+                f"attribute {attribute!r} has not been outsourced yet; call outsource()"
+            ) from None
+
+    # -- querying -----------------------------------------------------------------
+    def query(self, attribute: str, value: object) -> List[Row]:
+        """Answer ``SELECT * WHERE attribute = value`` through QB."""
+        return self.engine_for(attribute).query(value)
+
+    def query_with_trace(
+        self, attribute: str, value: object
+    ) -> Tuple[List[Row], ExecutionTrace]:
+        return self.engine_for(attribute).query_with_trace(value)
+
+    def execute_workload(
+        self, attribute: str, values: Iterable[object]
+    ) -> List[ExecutionTrace]:
+        return self.engine_for(attribute).execute_workload(values)
+
+    def insert(self, values: Dict[str, object]) -> None:
+        """Insert a new row, classifying it under the owner's policy."""
+        probe = Row(rid=-1, values=dict(values), sensitive=False)
+        sensitive = self.policy.is_sensitive_row(probe)
+        self.relation.insert(values, sensitive=sensitive, validate=False)
+        for engine in self._engines.values():
+            engine.insert(values, sensitive=sensitive)
+
+    # -- security auditing ----------------------------------------------------------
+    def audit(self, attribute: str, full_domain_queried: bool = False) -> SecurityReport:
+        """Audit the cloud's recorded views for ``attribute``'s engine."""
+        engine = self.engine_for(attribute)
+        if engine.metadata is None or engine.layout is None:
+            raise QueryError("engine is not set up")
+        auditor = PartitionedSecurityAuditor(
+            num_non_sensitive_values=engine.metadata.num_non_sensitive_values,
+            layout=engine.layout,
+            sensitive_counts=engine.metadata.sensitive_counts,
+        )
+        return auditor.audit(engine.cloud.view_log, full_domain_queried=full_domain_queried)
+
+    # -- introspection -----------------------------------------------------------------
+    def searchable_attributes(self) -> Tuple[str, ...]:
+        return self.relation.schema.searchable_names
+
+    def metadata_size_bytes(self) -> int:
+        """Total owner-side metadata footprint across outsourced attributes."""
+        return sum(
+            engine.metadata.estimated_size_bytes()
+            for engine in self._engines.values()
+            if engine.metadata is not None
+        )

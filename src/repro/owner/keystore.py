@@ -1,0 +1,43 @@
+"""Key management for the DB owner.
+
+A single master key is derived (per purpose and per attribute) into the keys
+the cryptographic schemes and the secret bin permutation need.  Keys never
+leave the owner; the cloud only ever sees ciphertexts and search tokens.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.crypto.primitives import SecretKey
+
+
+class KeyStore:
+    """Derives and caches purpose-specific keys from one master key."""
+
+    def __init__(self, master_key: Optional[SecretKey] = None):
+        self._master = master_key or SecretKey.generate()
+        self._cache: Dict[str, SecretKey] = {}
+
+    @classmethod
+    def from_passphrase(cls, passphrase: str) -> "KeyStore":
+        return cls(SecretKey.from_passphrase(passphrase))
+
+    def key_for(self, purpose: str) -> SecretKey:
+        """A deterministic sub-key for ``purpose`` (e.g. ``"scheme/EId"``)."""
+        if purpose not in self._cache:
+            self._cache[purpose] = self._master.derive(purpose)
+        return self._cache[purpose]
+
+    def scheme_key(self, attribute: str) -> SecretKey:
+        """The encryption key used by the search scheme for ``attribute``."""
+        return self.key_for(f"scheme/{attribute}")
+
+    def permutation_key(self, attribute: str) -> SecretKey:
+        """The secret-permutation key for ``attribute``'s bin creation."""
+        return self.key_for(f"permutation/{attribute}")
+
+    def rotate(self) -> None:
+        """Forget all derived keys and the master key (e.g. on compromise)."""
+        self._master = SecretKey.generate()
+        self._cache.clear()

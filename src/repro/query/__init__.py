@@ -1,0 +1,34 @@
+"""Query substrate: predicate algebra, selection queries, and result merging.
+
+The paper focuses on selection queries (``SELECT ... WHERE A = w``).  This
+package models those queries, the bin-expanded queries QB produces
+(``A IN {w1, ..., wk}``), and the ``qmerge`` step that unions and
+post-filters the partial results at the DB owner.
+"""
+
+from repro.query.predicates import (
+    And,
+    Equals,
+    InSet,
+    Not,
+    Or,
+    Predicate,
+    RangePredicate,
+    TruePredicate,
+)
+from repro.query.selection import BinnedQuery, SelectionQuery
+from repro.query.merge import merge_results
+
+__all__ = [
+    "Predicate",
+    "Equals",
+    "InSet",
+    "RangePredicate",
+    "And",
+    "Or",
+    "Not",
+    "TruePredicate",
+    "SelectionQuery",
+    "BinnedQuery",
+    "merge_results",
+]

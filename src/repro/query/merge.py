@@ -1,0 +1,54 @@
+"""``qmerge`` — merging of partitioned query results at the DB owner.
+
+The cloud returns (a) decrypted-at-owner sensitive rows matching ``Ws`` and
+(b) cleartext non-sensitive rows matching ``Wns``.  Both sets are supersets of
+what the user asked for (they match a whole bin), so the owner must filter
+them back down to the original predicate before unioning.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.data.relation import Row, union_rows
+from repro.query.selection import SelectionQuery
+
+
+def filter_rows(rows: Iterable[Row], query: SelectionQuery) -> List[Row]:
+    """Keep only the rows that satisfy the original query predicate."""
+    return [row for row in rows if row.get(query.attribute) == query.value]
+
+
+def project_rows(rows: Iterable[Row], projection: Optional[Sequence[str]]) -> List[Row]:
+    """Apply the query's projection, if any."""
+    if projection is None:
+        return list(rows)
+    return [row.project(projection) for row in rows]
+
+
+def merge_results(
+    query: SelectionQuery,
+    sensitive_rows: Iterable[Row],
+    non_sensitive_rows: Iterable[Row],
+    already_filtered: bool = False,
+) -> List[Row]:
+    """Implement ``q(R) = qmerge(q(Rs), q(Rns))``.
+
+    Parameters
+    ----------
+    query:
+        The original user query ``q(w)``.
+    sensitive_rows:
+        Rows recovered (decrypted) from the sensitive sub-query.
+    non_sensitive_rows:
+        Cleartext rows returned by the non-sensitive sub-query.
+    already_filtered:
+        Set to ``True`` when the inputs already satisfy the exact predicate
+        (e.g. in the naive, non-binned execution); bin-expanded results must
+        be post-filtered.
+    """
+    if not already_filtered:
+        sensitive_rows = filter_rows(sensitive_rows, query)
+        non_sensitive_rows = filter_rows(non_sensitive_rows, query)
+    merged = union_rows(sensitive_rows, non_sensitive_rows)
+    return project_rows(merged, query.projection)

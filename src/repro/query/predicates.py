@@ -1,0 +1,175 @@
+"""A small predicate algebra for selection queries.
+
+Predicates are immutable, hashable objects that evaluate against
+:class:`repro.data.relation.Row` instances.  Equality and set-membership
+predicates are the ones Query Binning rewrites; range predicates support the
+full-version range extension; conjunction/disjunction/negation round out the
+algebra so examples can express realistic filters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional, Tuple
+
+from repro.data.relation import Row
+from repro.exceptions import QueryError
+
+
+class Predicate:
+    """Base class for all predicates."""
+
+    def matches(self, row: Row) -> bool:
+        """Return ``True`` when the predicate holds for ``row``."""
+        raise NotImplementedError
+
+    def attributes(self) -> Tuple[str, ...]:
+        """Attributes referenced by this predicate."""
+        raise NotImplementedError
+
+    # Convenience combinators -------------------------------------------------
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return And((self, other))
+
+    def __or__(self, other: "Predicate") -> "Predicate":
+        return Or((self, other))
+
+    def __invert__(self) -> "Predicate":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TruePredicate(Predicate):
+    """The always-true predicate (a full scan)."""
+
+    def matches(self, row: Row) -> bool:
+        return True
+
+    def attributes(self) -> Tuple[str, ...]:
+        return ()
+
+
+@dataclass(frozen=True)
+class Equals(Predicate):
+    """``attribute = value`` — the paper's canonical selection predicate."""
+
+    attribute: str
+    value: object
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.attribute) == self.value
+
+    def attributes(self) -> Tuple[str, ...]:
+        return (self.attribute,)
+
+
+@dataclass(frozen=True)
+class InSet(Predicate):
+    """``attribute IN values`` — the shape produced by bin expansion."""
+
+    attribute: str
+    values: FrozenSet[object]
+
+    def __init__(self, attribute: str, values: Iterable[object]):
+        object.__setattr__(self, "attribute", attribute)
+        object.__setattr__(self, "values", frozenset(values))
+
+    def matches(self, row: Row) -> bool:
+        return row.get(self.attribute) in self.values
+
+    def attributes(self) -> Tuple[str, ...]:
+        return (self.attribute,)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+
+@dataclass(frozen=True)
+class RangePredicate(Predicate):
+    """``low <= attribute <= high`` with optional open bounds."""
+
+    attribute: str
+    low: Optional[object] = None
+    high: Optional[object] = None
+    include_low: bool = True
+    include_high: bool = True
+
+    def __post_init__(self) -> None:
+        if self.low is None and self.high is None:
+            raise QueryError("a range predicate needs at least one bound")
+
+    def matches(self, row: Row) -> bool:
+        value = row.get(self.attribute)
+        if value is None:
+            return False
+        if self.low is not None:
+            if self.include_low:
+                if value < self.low:  # type: ignore[operator]
+                    return False
+            elif value <= self.low:  # type: ignore[operator]
+                return False
+        if self.high is not None:
+            if self.include_high:
+                if value > self.high:  # type: ignore[operator]
+                    return False
+            elif value >= self.high:  # type: ignore[operator]
+                return False
+        return True
+
+    def attributes(self) -> Tuple[str, ...]:
+        return (self.attribute,)
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    """Conjunction of predicates."""
+
+    operands: Tuple[Predicate, ...]
+
+    def __init__(self, operands: Iterable[Predicate]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def matches(self, row: Row) -> bool:
+        return all(op.matches(row) for op in self.operands)
+
+    def attributes(self) -> Tuple[str, ...]:
+        seen = []
+        for op in self.operands:
+            for attribute in op.attributes():
+                if attribute not in seen:
+                    seen.append(attribute)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    """Disjunction of predicates."""
+
+    operands: Tuple[Predicate, ...]
+
+    def __init__(self, operands: Iterable[Predicate]):
+        object.__setattr__(self, "operands", tuple(operands))
+
+    def matches(self, row: Row) -> bool:
+        return any(op.matches(row) for op in self.operands)
+
+    def attributes(self) -> Tuple[str, ...]:
+        seen = []
+        for op in self.operands:
+            for attribute in op.attributes():
+                if attribute not in seen:
+                    seen.append(attribute)
+        return tuple(seen)
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    """Negation of a predicate."""
+
+    operand: Predicate
+
+    def matches(self, row: Row) -> bool:
+        return not self.operand.matches(row)
+
+    def attributes(self) -> Tuple[str, ...]:
+        return self.operand.attributes()

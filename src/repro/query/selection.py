@@ -1,0 +1,98 @@
+"""Selection query objects.
+
+:class:`SelectionQuery` is the user-facing query (``q(w)`` in the paper);
+:class:`BinnedQuery` is what QB turns it into — one set of predicates for the
+encrypted sensitive relation (``q(Ws)(Rs)``) and one for the cleartext
+non-sensitive relation (``q(Wns)(Rns)``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from repro.exceptions import QueryError
+
+
+@dataclass(frozen=True)
+class SelectionQuery:
+    """A single-attribute selection query ``q(w)`` on attribute ``A``.
+
+    Parameters
+    ----------
+    attribute:
+        The searchable attribute the query filters on.
+    value:
+        The requested predicate value ``w``.
+    projection:
+        Optional attributes to return; ``None`` means all attributes.
+    """
+
+    attribute: str
+    value: object
+    projection: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        if not self.attribute:
+            raise QueryError("a selection query needs a non-empty attribute name")
+
+    def describe(self) -> str:
+        cols = "*" if self.projection is None else ", ".join(self.projection)
+        return f"SELECT {cols} WHERE {self.attribute} = {self.value!r}"
+
+
+@dataclass(frozen=True)
+class BinnedQuery:
+    """The QB rewriting of a :class:`SelectionQuery`.
+
+    Attributes
+    ----------
+    original:
+        The query the DB owner actually wants answered.
+    sensitive_values:
+        ``Ws`` — the values of the selected sensitive bin.  They are sent to
+        the cloud in encrypted/tokenised form by the crypto engine.
+    non_sensitive_values:
+        ``Wns`` — the values of the selected non-sensitive bin, sent in
+        cleartext.
+    sensitive_bin_index / non_sensitive_bin_index:
+        Identifiers of the chosen bins (useful for auditing and tests).
+    """
+
+    original: SelectionQuery
+    sensitive_values: Tuple[object, ...]
+    non_sensitive_values: Tuple[object, ...]
+    sensitive_bin_index: Optional[int] = None
+    non_sensitive_bin_index: Optional[int] = None
+
+    @property
+    def attribute(self) -> str:
+        return self.original.attribute
+
+    @property
+    def value(self) -> object:
+        return self.original.value
+
+    @property
+    def total_requested_values(self) -> int:
+        """|Ws| + |Wns| — the request size the cost model charges for."""
+        return len(self.sensitive_values) + len(self.non_sensitive_values)
+
+    def covers_query_value(self) -> bool:
+        """True when the requested value is present in at least one bin.
+
+        Correctness of QB requires ``w ∈ Ws ∪ Wns`` whenever ``w`` exists in
+        the data; for values absent from both partitions no retrieval is
+        needed at all.
+        """
+        return (
+            self.value in self.sensitive_values
+            or self.value in self.non_sensitive_values
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.original.describe()} -> "
+            f"Ws[{self.sensitive_bin_index}]={sorted(map(repr, self.sensitive_values))}, "
+            f"Wns[{self.non_sensitive_bin_index}]={sorted(map(repr, self.non_sensitive_values))}"
+        )

@@ -1,0 +1,40 @@
+"""Workload substrate: datasets and query workloads used by the experiments.
+
+* :mod:`repro.workloads.employee` — the paper's running Employee example
+  (Figure 1 / Figure 2, Examples 1-4).
+* :mod:`repro.workloads.generator` — synthetic value/frequency generators
+  (uniform and Zipf-skewed multiplicities, controlled association fractions).
+* :mod:`repro.workloads.tpch` — TPC-H-shaped LINEITEM / CUSTOMER relations at
+  configurable scale (substituting for the official dbgen, which is not
+  available offline).
+* :mod:`repro.workloads.queries` — query workload generators (uniform and
+  skewed) for the workload-skew experiments.
+"""
+
+from repro.workloads.employee import (
+    EMPLOYEE_ATTRIBUTES,
+    build_employee_relation,
+    employee_partition,
+)
+from repro.workloads.generator import (
+    SyntheticDataset,
+    generate_partitioned_dataset,
+    uniform_counts,
+    zipf_counts,
+)
+from repro.workloads.tpch import generate_customer, generate_lineitem
+from repro.workloads.queries import skewed_workload, uniform_workload
+
+__all__ = [
+    "EMPLOYEE_ATTRIBUTES",
+    "build_employee_relation",
+    "employee_partition",
+    "SyntheticDataset",
+    "generate_partitioned_dataset",
+    "uniform_counts",
+    "zipf_counts",
+    "generate_lineitem",
+    "generate_customer",
+    "uniform_workload",
+    "skewed_workload",
+]

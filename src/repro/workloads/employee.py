@@ -1,0 +1,73 @@
+"""The paper's running Employee example (Figure 1, Figure 2, Examples 1-4).
+
+The relation has eight tuples; the ``SSN`` attribute is column-level
+sensitive and every tuple of the ``Defense`` department is row-level
+sensitive.  Partitioning it reproduces the paper's three relations:
+
+* ``Employee1`` — the vertical split ``(EId, SSN)``, always encrypted;
+* ``Employee2`` — the sensitive rows (Defense), encrypted;
+* ``Employee3`` — the non-sensitive rows (Design), outsourced in cleartext.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.data.partition import PartitionResult, SensitivityPolicy, partition_relation
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+
+EMPLOYEE_ATTRIBUTES = ("EId", "FirstName", "LastName", "SSN", "Office", "Dept")
+
+_EMPLOYEE_ROWS = (
+    {"EId": "E101", "FirstName": "Adam", "LastName": "Smith", "SSN": "111", "Office": "1", "Dept": "Defense"},
+    {"EId": "E259", "FirstName": "John", "LastName": "Williams", "SSN": "222", "Office": "2", "Dept": "Design"},
+    {"EId": "E199", "FirstName": "Eve", "LastName": "Smith", "SSN": "333", "Office": "2", "Dept": "Design"},
+    {"EId": "E259", "FirstName": "John", "LastName": "Williams", "SSN": "222", "Office": "6", "Dept": "Defense"},
+    {"EId": "E152", "FirstName": "Clark", "LastName": "Cook", "SSN": "444", "Office": "1", "Dept": "Defense"},
+    {"EId": "E254", "FirstName": "David", "LastName": "Watts", "SSN": "555", "Office": "4", "Dept": "Design"},
+    {"EId": "E159", "FirstName": "Lisa", "LastName": "Ross", "SSN": "666", "Office": "2", "Dept": "Defense"},
+    {"EId": "E152", "FirstName": "Clark", "LastName": "Cook", "SSN": "444", "Office": "3", "Dept": "Design"},
+)
+
+
+def employee_schema() -> Schema:
+    """The Employee schema with ``SSN`` flagged column-level sensitive."""
+    return Schema(
+        Attribute(name, dtype=str, sensitive=(name == "SSN"))
+        for name in EMPLOYEE_ATTRIBUTES
+    )
+
+
+def build_employee_relation() -> Relation:
+    """The eight-tuple Employee relation of Figure 1 (rids 0..7 ↔ t1..t8)."""
+    return Relation.from_dicts("Employee", employee_schema(), _EMPLOYEE_ROWS)
+
+
+def employee_policy() -> SensitivityPolicy:
+    """Row-level sensitivity: ``Dept = Defense``; column-level: ``SSN``."""
+    return SensitivityPolicy(
+        sensitive_values={"Dept": {"Defense"}},
+        sensitive_attributes=("SSN",),
+        key_attribute="EId",
+    )
+
+
+def employee_partition() -> PartitionResult:
+    """Partition the Employee relation exactly as Figure 2 does.
+
+    The resulting :class:`PartitionResult` has ``.vertical`` = Employee1,
+    ``.sensitive`` = Employee2 and ``.non_sensitive`` = Employee3.
+    """
+    relation = build_employee_relation()
+    return partition_relation(
+        relation,
+        employee_policy(),
+        sensitive_name="Employee2",
+        non_sensitive_name="Employee3",
+    )
+
+
+def paper_example_queries() -> Tuple[str, ...]:
+    """The three query values of Example 2 (Q1, Q2, Q3)."""
+    return ("E259", "E101", "E199")

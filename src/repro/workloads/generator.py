@@ -1,0 +1,186 @@
+"""Synthetic dataset generators.
+
+The experiments need datasets where four knobs can be turned independently:
+
+* the number of distinct values and total tuples,
+* the sensitivity fraction α (how many values / tuples are sensitive),
+* the multiplicity distribution (uniform counts → the base case; Zipf-skewed
+  counts → the general case that needs fake tuples),
+* the association fraction (how many sensitive values also appear on the
+  non-sensitive side).
+
+:func:`generate_partitioned_dataset` builds a relation with those properties
+and partitions it, returning a :class:`SyntheticDataset` ready to feed into a
+:class:`~repro.core.engine.QueryBinningEngine`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.data.partition import PartitionResult, SensitivityPolicy, partition_relation
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import ConfigurationError
+
+
+@dataclass
+class SyntheticDataset:
+    """A generated relation, its partition, and the ground truth behind it."""
+
+    relation: Relation
+    partition: PartitionResult
+    attribute: str
+    sensitive_counts: Dict[object, int]
+    non_sensitive_counts: Dict[object, int]
+
+    @property
+    def total_tuples(self) -> int:
+        return len(self.relation)
+
+    @property
+    def alpha(self) -> float:
+        sensitive = sum(self.sensitive_counts.values())
+        total = sensitive + sum(self.non_sensitive_counts.values())
+        return sensitive / total if total else 0.0
+
+    @property
+    def all_values(self) -> List[object]:
+        seen: Dict[object, None] = {}
+        for value in list(self.sensitive_counts) + list(self.non_sensitive_counts):
+            seen.setdefault(value, None)
+        return list(seen)
+
+
+def uniform_counts(num_values: int, tuples_per_value: int = 1, prefix: str = "v") -> Dict[str, int]:
+    """``num_values`` distinct values, each with the same multiplicity."""
+    if num_values < 0 or tuples_per_value < 0:
+        raise ConfigurationError("counts must be non-negative")
+    return {f"{prefix}{index}": tuples_per_value for index in range(num_values)}
+
+
+def zipf_counts(
+    num_values: int,
+    total_tuples: int,
+    exponent: float = 1.0,
+    prefix: str = "v",
+) -> Dict[str, int]:
+    """A Zipf-skewed multiplicity assignment over ``num_values`` values.
+
+    Every value receives at least one tuple; the remainder is distributed
+    proportionally to ``rank ** -exponent``.
+    """
+    if num_values <= 0:
+        raise ConfigurationError("need at least one value")
+    if total_tuples < num_values:
+        raise ConfigurationError("total_tuples must be at least num_values")
+    weights = [(rank + 1) ** -exponent for rank in range(num_values)]
+    weight_sum = sum(weights)
+    remaining = total_tuples - num_values
+    counts = {}
+    assigned = 0
+    for index, weight in enumerate(weights):
+        extra = int(remaining * weight / weight_sum)
+        counts[f"{prefix}{index}"] = 1 + extra
+        assigned += extra
+    # distribute rounding leftovers to the heaviest values
+    leftover = remaining - assigned
+    for index in range(leftover):
+        counts[f"{prefix}{index % num_values}"] += 1
+    return counts
+
+
+def generate_partitioned_dataset(
+    num_values: int = 100,
+    sensitivity_fraction: float = 0.2,
+    association_fraction: float = 0.5,
+    tuples_per_value: int = 1,
+    skew_exponent: Optional[float] = None,
+    seed: int = 7,
+    attribute: str = "key",
+    extra_attributes: Sequence[str] = ("payload",),
+) -> SyntheticDataset:
+    """Generate a partitioned synthetic dataset.
+
+    Parameters
+    ----------
+    num_values:
+        Number of distinct values of the searchable attribute.
+    sensitivity_fraction:
+        Fraction of distinct values whose tuples are sensitive (α over values).
+    association_fraction:
+        Fraction of *sensitive* values that also have non-sensitive tuples
+        (the associated values of §IV).
+    tuples_per_value:
+        Multiplicity for the uniform (base) case; ignored when
+        ``skew_exponent`` is given.
+    skew_exponent:
+        When set, multiplicities follow a Zipf distribution with this
+        exponent and roughly ``num_values * tuples_per_value`` total tuples.
+    seed:
+        RNG seed; generation is fully deterministic for a given seed.
+    """
+    if not 0.0 <= sensitivity_fraction <= 1.0:
+        raise ConfigurationError("sensitivity_fraction must be in [0, 1]")
+    if not 0.0 <= association_fraction <= 1.0:
+        raise ConfigurationError("association_fraction must be in [0, 1]")
+    rng = random.Random(seed)
+
+    values = [f"v{index:06d}" for index in range(num_values)]
+    rng.shuffle(values)
+    num_sensitive = int(round(num_values * sensitivity_fraction))
+    sensitive_values = values[:num_sensitive]
+    non_sensitive_only = values[num_sensitive:]
+    num_associated = int(round(len(sensitive_values) * association_fraction))
+    associated_values = sensitive_values[:num_associated]
+
+    if skew_exponent is None:
+        multiplicity = {value: max(1, tuples_per_value) for value in values}
+    else:
+        total = num_values * max(1, tuples_per_value)
+        skewed = zipf_counts(num_values, total, exponent=skew_exponent)
+        multiplicity = {value: count for value, count in zip(values, skewed.values())}
+
+    schema = Schema(
+        [Attribute(attribute, dtype=str)]
+        + [Attribute(name, dtype=str) for name in extra_attributes]
+    )
+    relation = Relation("synthetic", schema)
+    sensitive_counts: Dict[object, int] = {}
+    non_sensitive_counts: Dict[object, int] = {}
+
+    def make_row(value: str, marker: str, index: int) -> Dict[str, str]:
+        row = {attribute: value}
+        for name in extra_attributes:
+            row[name] = f"{marker}-{name}-{value}-{index}"
+        return row
+
+    for value in sensitive_values:
+        count = multiplicity[value]
+        for index in range(count):
+            relation.insert(make_row(value, "s", index), sensitive=True, validate=False)
+        sensitive_counts[value] = count
+
+    for value in associated_values:
+        count = multiplicity[value]
+        for index in range(count):
+            relation.insert(make_row(value, "ns", index), sensitive=False, validate=False)
+        non_sensitive_counts[value] = count
+
+    for value in non_sensitive_only:
+        count = multiplicity[value]
+        for index in range(count):
+            relation.insert(make_row(value, "ns", index), sensitive=False, validate=False)
+        non_sensitive_counts[value] = count
+
+    policy = SensitivityPolicy(use_row_flags=True)
+    partition = partition_relation(relation, policy)
+    return SyntheticDataset(
+        relation=relation,
+        partition=partition,
+        attribute=attribute,
+        sensitive_counts=sensitive_counts,
+        non_sensitive_counts=non_sensitive_counts,
+    )

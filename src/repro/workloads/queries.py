@@ -1,0 +1,56 @@
+"""Query workload generators.
+
+The workload-skew attack (§I, §VI) relies on some values being queried far
+more often than others; these helpers build uniform and Zipf-skewed query
+streams over a value domain so the security experiments can measure what the
+adversary learns from query repetition with and without QB.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from typing import Dict, List, Sequence
+
+from repro.exceptions import ConfigurationError
+
+
+def uniform_workload(values: Sequence[object], num_queries: int, seed: int = 11) -> List[object]:
+    """``num_queries`` values drawn uniformly at random from ``values``."""
+    if not values:
+        raise ConfigurationError("cannot build a workload over an empty domain")
+    if num_queries < 0:
+        raise ConfigurationError("num_queries cannot be negative")
+    rng = random.Random(seed)
+    return [rng.choice(list(values)) for _ in range(num_queries)]
+
+
+def skewed_workload(
+    values: Sequence[object],
+    num_queries: int,
+    exponent: float = 1.2,
+    seed: int = 13,
+) -> List[object]:
+    """A Zipf-skewed workload: low-rank values are queried much more often."""
+    if not values:
+        raise ConfigurationError("cannot build a workload over an empty domain")
+    if num_queries < 0:
+        raise ConfigurationError("num_queries cannot be negative")
+    ordered = list(values)
+    weights = [(rank + 1) ** -exponent for rank in range(len(ordered))]
+    rng = random.Random(seed)
+    return rng.choices(ordered, weights=weights, k=num_queries)
+
+
+def workload_histogram(workload: Sequence[object]) -> Dict[object, int]:
+    """Query-frequency histogram of a workload (ground truth for attacks)."""
+    return dict(Counter(workload))
+
+
+def exhaustive_workload(values: Sequence[object]) -> List[object]:
+    """One query per domain value — used by the security auditor, which needs
+    full domain coverage to check surviving-match completeness."""
+    seen: Dict[object, None] = {}
+    for value in values:
+        seen.setdefault(value, None)
+    return list(seen)

@@ -1,0 +1,100 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.cloud.server import CloudServer
+from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.crypto.primitives import SecretKey
+from repro.data.partition import partition_relation
+from repro.workloads.employee import (
+    build_employee_relation,
+    employee_partition,
+    employee_policy,
+)
+from repro.workloads.generator import generate_partitioned_dataset
+
+
+@pytest.fixture
+def employee_relation():
+    """The paper's 8-tuple Employee relation (Figure 1)."""
+    return build_employee_relation()
+
+
+@pytest.fixture
+def employee_split():
+    """The Employee partition of Figure 2 (Employee1/2/3)."""
+    return employee_partition()
+
+
+@pytest.fixture
+def fixed_key():
+    """A deterministic secret key for reproducible crypto tests."""
+    return SecretKey.from_passphrase("test-suite-key")
+
+
+@pytest.fixture
+def small_dataset():
+    """A small synthetic base-case dataset (uniform counts, 1 tuple/value)."""
+    return generate_partitioned_dataset(
+        num_values=30,
+        sensitivity_fraction=0.4,
+        association_fraction=0.5,
+        tuples_per_value=1,
+        seed=21,
+    )
+
+
+@pytest.fixture
+def skewed_dataset():
+    """A synthetic general-case dataset with Zipf-skewed multiplicities."""
+    return generate_partitioned_dataset(
+        num_values=40,
+        sensitivity_fraction=0.5,
+        association_fraction=0.6,
+        tuples_per_value=5,
+        skew_exponent=1.1,
+        seed=33,
+    )
+
+
+@pytest.fixture
+def qb_engine(small_dataset):
+    """A ready-to-query QB engine over the small base-case dataset."""
+    engine = QueryBinningEngine(
+        partition=small_dataset.partition,
+        attribute=small_dataset.attribute,
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(5),
+    )
+    return engine.setup()
+
+
+@pytest.fixture
+def naive_engine(employee_split):
+    """The leaky (non-binned) partitioned engine over the Employee example."""
+    engine = NaivePartitionedEngine(
+        partition=employee_split,
+        attribute="EId",
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+    )
+    return engine.setup()
+
+
+@pytest.fixture
+def qb_employee_engine(employee_split):
+    """A QB engine over the Employee example with a fixed permutation."""
+    engine = QueryBinningEngine(
+        partition=employee_split,
+        attribute="EId",
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(11),
+    )
+    return engine.setup()

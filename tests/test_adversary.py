@@ -1,0 +1,290 @@
+"""Tests for adversarial views, surviving matches, attacks, and the auditor."""
+
+import random
+
+import pytest
+
+from repro.adversary.attacks import (
+    frequency_count_attack,
+    kpa_association_attack,
+    run_all_attacks,
+    size_attack,
+    workload_skew_attack,
+)
+from repro.adversary.auditor import PartitionedSecurityAuditor
+from repro.adversary.surviving_matches import SurvivingMatchAnalysis
+from repro.adversary.view import AdversarialView, ViewLog
+from repro.cloud.server import CloudServer
+from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
+from repro.crypto.deterministic import DeterministicScheme
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.data.relation import Row
+from repro.exceptions import SecurityViolation
+from repro.workloads.employee import employee_partition
+from repro.workloads.generator import generate_partitioned_dataset
+from repro.workloads.queries import skewed_workload
+
+
+def make_view(query_id, requested, sensitive_rids, returned_values=(), s_bin=None, ns_bin=None):
+    rows = tuple(
+        Row(rid=100 + i, values={"EId": value}) for i, value in enumerate(returned_values)
+    )
+    return AdversarialView(
+        query_id=query_id,
+        attribute="EId",
+        non_sensitive_request=tuple(requested),
+        sensitive_request_size=len(sensitive_rids),
+        returned_non_sensitive=rows,
+        returned_sensitive_rids=tuple(sensitive_rids),
+        sensitive_bin_index=s_bin,
+        non_sensitive_bin_index=ns_bin,
+    )
+
+
+class TestViewLog:
+    def test_output_sizes_and_frequency(self):
+        log = ViewLog()
+        log.append(make_view(0, ["a"], [1, 2], ["a"]))
+        log.append(make_view(1, ["a"], [1, 2], ["a"]))
+        log.append(make_view(2, ["b"], [3], ["b"]))
+        assert log.output_sizes() == [3, 3, 2]
+        assert max(log.request_frequency().values()) == 2
+
+    def test_distinct_signatures(self):
+        log = ViewLog()
+        log.append(make_view(0, ["a", "b"], [1, 2]))
+        log.append(make_view(1, ["b", "a"], [2, 1]))
+        log.append(make_view(2, ["c"], [9]))
+        assert len(log.distinct_sensitive_rid_sets()) == 2
+        assert len(log.distinct_non_sensitive_request_sets()) == 2
+
+    def test_observed_bin_pairs_requires_annotations(self):
+        log = ViewLog()
+        log.append(make_view(0, ["a"], [1], s_bin=2, ns_bin=0))
+        log.append(make_view(1, ["b"], [2]))
+        assert log.observed_bin_pairs() == [(2, 0)]
+
+
+class TestSurvivingMatches:
+    def test_complete_coverage_keeps_all_matches(self):
+        log = ViewLog()
+        query_id = 0
+        for i in range(3):
+            for j in range(2):
+                log.append(make_view(query_id, [f"ns{j}"], [i], s_bin=i, ns_bin=j))
+                query_id += 1
+        analysis = SurvivingMatchAnalysis.from_view_log(log, 3, 2)
+        assert analysis.is_complete()
+        assert analysis.dropped_pairs() == []
+        assert analysis.surviving_fraction() == 1.0
+
+    def test_partial_coverage_drops_matches(self):
+        """The Figure 4b / Table V situation: SB2 only ever retrieved with
+        NSB0 and NSB1 only with SB1 eliminates surviving matches."""
+        log = ViewLog()
+        log.append(make_view(0, ["ns0"], [20], s_bin=2, ns_bin=0))
+        log.append(make_view(1, ["ns1"], [10], s_bin=1, ns_bin=1))
+        analysis = SurvivingMatchAnalysis.from_view_log(log, 3, 2)
+        assert not analysis.is_complete()
+        assert (2, 1) in analysis.dropped_pairs()
+        assert analysis.surviving_fraction() < 1.0
+
+    def test_signature_grouping_without_annotations(self):
+        log = ViewLog()
+        log.append(make_view(0, ["x", "y"], [1, 2]))
+        log.append(make_view(1, ["z"], [3, 4]))
+        analysis = SurvivingMatchAnalysis.from_view_log(log)
+        assert analysis.num_sensitive_bins == 2
+        assert analysis.num_non_sensitive_bins == 2
+
+    def test_from_layout_matches_retrieval_rules(self):
+        from repro.core.binning import create_bins
+
+        values = [str(i) for i in range(16)]
+        layout = create_bins(values, values, rng=random.Random(1))
+        analysis = SurvivingMatchAnalysis.from_layout(layout)
+        assert analysis.is_complete()
+
+    def test_value_level_ambiguity(self):
+        log = ViewLog()
+        for i in range(2):
+            for j in range(2):
+                log.append(make_view(i * 2 + j, ["v"], [i], s_bin=i, ns_bin=j))
+        analysis = SurvivingMatchAnalysis.from_view_log(log, 2, 2)
+        assert analysis.value_level_ambiguity(values_per_non_sensitive_bin=5) == 10
+
+
+class TestAttacksOnSyntheticViews:
+    def test_size_attack_detects_unequal_outputs(self):
+        log = ViewLog()
+        log.append(make_view(0, ["a"], [1]))
+        log.append(make_view(1, ["b"], [2, 3, 4, 5]))
+        assert size_attack(log).succeeded
+
+    def test_size_attack_fails_on_equal_outputs(self):
+        log = ViewLog()
+        log.append(make_view(0, ["a"], [1, 2]))
+        log.append(make_view(1, ["b"], [3, 4]))
+        assert not size_attack(log).succeeded
+
+    def test_frequency_attack_on_deterministic_tags(self):
+        scheme = DeterministicScheme()
+        from repro.data.relation import Relation
+        from repro.data.schema import Attribute, Schema
+
+        relation = Relation("r", Schema([Attribute("key")]))
+        for key in ["a", "a", "a", "b", "b", "c"]:
+            relation.insert({"key": key}, sensitive=True)
+        stored = scheme.encrypt_rows(list(relation.rows), "key")
+        outcome = frequency_count_attack(stored, relation.value_counts("key"))
+        assert outcome.succeeded
+        assert outcome.details["recovered_histogram"] == [3, 2, 1]
+
+    def test_frequency_attack_fails_on_probabilistic_tags(self):
+        scheme = NonDeterministicScheme()
+        from repro.data.relation import Relation
+        from repro.data.schema import Attribute, Schema
+
+        relation = Relation("r", Schema([Attribute("key")]))
+        for key in ["a", "a", "b"]:
+            relation.insert({"key": key}, sensitive=True)
+        stored = scheme.encrypt_rows(list(relation.rows), "key")
+        assert not frequency_count_attack(stored, relation.value_counts("key")).succeeded
+
+    def test_workload_skew_attack_pins_hot_value_under_naive_requests(self):
+        log = ViewLog()
+        for i in range(20):
+            log.append(make_view(i, ["hot"], [1], ["hot"]))
+        for i in range(3):
+            log.append(make_view(100 + i, [f"cold{i}"], [2], [f"cold{i}"]))
+        outcome = workload_skew_attack(log)
+        assert outcome.succeeded
+        assert outcome.details["hot_candidate_set_size"] == 1
+
+    def test_workload_skew_attack_fails_when_requests_are_bins(self):
+        log = ViewLog()
+        for i in range(20):
+            log.append(make_view(i, ["hot", "x", "y", "z"], [1, 2], ["hot"]))
+        for i in range(3):
+            log.append(make_view(100 + i, ["a", "b", "c", "d"], [3, 4], ["a"]))
+        outcome = workload_skew_attack(log)
+        assert not outcome.succeeded
+        assert outcome.details["hot_candidate_set_size"] == 4
+
+    def test_kpa_attack_on_exact_requests(self):
+        log = ViewLog()
+        log.append(make_view(0, ["E259"], [4], ["E259"]))  # both sides -> pinned
+        outcome = kpa_association_attack(log, num_non_sensitive_values=4)
+        assert outcome.succeeded
+        assert 4 in outcome.details["pinned_encrypted_rids"]
+
+    def test_kpa_attack_detects_sensitive_only_exposure(self):
+        log = ViewLog()
+        log.append(make_view(0, [], [7]))  # no cleartext half at all
+        assert kpa_association_attack(log, 4).succeeded
+
+    def test_kpa_attack_detects_non_sensitive_only_exposure(self):
+        log = ViewLog()
+        log.append(make_view(0, ["E199"], [], ["E199"]))
+        assert kpa_association_attack(log, 4).succeeded
+
+    def test_kpa_attack_fails_on_binned_requests(self):
+        log = ViewLog()
+        log.append(make_view(0, ["a", "b"], [1, 2], ["a", "b"]))
+        assert not kpa_association_attack(log, 4).succeeded
+
+    def test_run_all_attacks_returns_four_outcomes(self):
+        log = ViewLog()
+        log.append(make_view(0, ["a"], [1], ["a"]))
+        outcomes = run_all_attacks(log, [], 4)
+        assert [o.name for o in outcomes] == [
+            "size",
+            "frequency-count",
+            "workload-skew",
+            "kpa-association",
+        ]
+
+
+class TestEndToEndSecurity:
+    def test_naive_execution_violates_partitioned_security(self):
+        partition = employee_partition()
+        engine = NaivePartitionedEngine(
+            partition=partition,
+            attribute="EId",
+            scheme=NonDeterministicScheme(),
+            cloud=CloudServer(),
+        ).setup()
+        for value in ("E259", "E101", "E199"):
+            engine.query(value)
+        auditor = PartitionedSecurityAuditor(num_non_sensitive_values=4)
+        report = auditor.audit(engine.cloud.view_log)
+        assert not report.secure
+        with pytest.raises(SecurityViolation):
+            report.raise_on_violation()
+
+    def test_qb_execution_passes_audit_over_full_domain(self):
+        partition = employee_partition()
+        engine = QueryBinningEngine(
+            partition=partition,
+            attribute="EId",
+            scheme=NonDeterministicScheme(),
+            cloud=CloudServer(),
+            rng=random.Random(2),
+        ).setup()
+        all_values = set(partition.sensitive.distinct_values("EId")) | set(
+            partition.non_sensitive.distinct_values("EId")
+        )
+        for value in sorted(all_values):
+            engine.query(value)
+        auditor = PartitionedSecurityAuditor(
+            num_non_sensitive_values=4,
+            layout=engine.layout,
+            sensitive_counts=engine.metadata.sensitive_counts,
+        )
+        report = auditor.audit(engine.cloud.view_log, full_domain_queried=True)
+        assert report.secure, report.violations
+        report.raise_on_violation()
+
+    def test_qb_defeats_attacks_on_skewed_data_and_workload(self):
+        dataset = generate_partitioned_dataset(
+            num_values=36,
+            sensitivity_fraction=0.5,
+            association_fraction=0.5,
+            tuples_per_value=4,
+            skew_exponent=1.2,
+            seed=5,
+        )
+        engine = QueryBinningEngine(
+            partition=dataset.partition,
+            attribute=dataset.attribute,
+            scheme=NonDeterministicScheme(),
+            cloud=CloudServer(),
+            rng=random.Random(8),
+        ).setup()
+        workload = skewed_workload(dataset.all_values, num_queries=150, seed=3)
+        engine.execute_workload(workload)
+        log = engine.cloud.view_log
+        assert not size_attack(log).succeeded
+        assert not workload_skew_attack(log).succeeded
+        assert not kpa_association_attack(log, len(dataset.non_sensitive_counts)).succeeded
+
+    def test_naive_execution_leaks_under_skewed_workload(self):
+        dataset = generate_partitioned_dataset(
+            num_values=36,
+            sensitivity_fraction=0.5,
+            association_fraction=0.5,
+            tuples_per_value=4,
+            skew_exponent=1.2,
+            seed=5,
+        )
+        engine = NaivePartitionedEngine(
+            partition=dataset.partition,
+            attribute=dataset.attribute,
+            scheme=NonDeterministicScheme(),
+            cloud=CloudServer(),
+        ).setup()
+        workload = skewed_workload(dataset.all_values, num_queries=150, seed=3)
+        engine.execute_workload(workload)
+        log = engine.cloud.view_log
+        assert size_attack(log).succeeded
+        assert workload_skew_attack(log).succeeded

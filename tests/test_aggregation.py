@@ -1,0 +1,116 @@
+"""Tests for the group-by aggregation extension."""
+
+import random
+from collections import defaultdict
+
+import pytest
+
+from repro.cloud.server import CloudServer
+from repro.core.engine import QueryBinningEngine
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.data.partition import SensitivityPolicy, partition_relation
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import ConfigurationError, QueryError
+from repro.extensions.aggregation import GroupByAggregator
+
+
+def sales_relation():
+    schema = Schema(
+        [Attribute("region"), Attribute("amount", dtype=int), Attribute("order")]
+    )
+    relation = Relation("sales", schema)
+    rng = random.Random(3)
+    regions = ["north", "south", "east", "west", "secret-lab"]
+    for index in range(60):
+        region = regions[index % len(regions)]
+        relation.insert(
+            {"region": region, "amount": (index % 7) * 10 + 5, "order": f"o{index}"},
+            sensitive=(region in {"secret-lab", "north"}),
+        )
+    return relation
+
+
+@pytest.fixture
+def aggregator():
+    relation = sales_relation()
+    partition = partition_relation(relation, SensitivityPolicy())
+    engine = QueryBinningEngine(
+        partition=partition,
+        attribute="region",
+        scheme=NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(7),
+    ).setup()
+    return relation, GroupByAggregator(engine)
+
+
+def ground_truth(relation):
+    truth = defaultdict(lambda: {"count": 0, "sum": 0, "min": None, "max": None})
+    for row in relation:
+        entry = truth[row["region"]]
+        entry["count"] += 1
+        entry["sum"] += row["amount"]
+        entry["min"] = row["amount"] if entry["min"] is None else min(entry["min"], row["amount"])
+        entry["max"] = row["amount"] if entry["max"] is None else max(entry["max"], row["amount"])
+    return truth
+
+
+class TestGroupByAggregation:
+    def test_count_matches_plain_group_by(self, aggregator):
+        relation, agg = aggregator
+        results, _trace = agg.aggregate(functions=("count",))
+        truth = ground_truth(relation)
+        assert {r.group: r.count for r in results} == {
+            group: entry["count"] for group, entry in truth.items()
+        }
+
+    def test_sum_avg_min_max(self, aggregator):
+        relation, agg = aggregator
+        results, _trace = agg.aggregate(
+            measure="amount", functions=("count", "sum", "avg", "min", "max")
+        )
+        truth = ground_truth(relation)
+        for result in results:
+            entry = truth[result.group]
+            assert result.sum == entry["sum"]
+            assert result.avg == pytest.approx(entry["sum"] / entry["count"])
+            assert result.min == entry["min"]
+            assert result.max == entry["max"]
+
+    def test_bin_pair_caching_limits_round_trips(self, aggregator):
+        relation, agg = aggregator
+        _results, trace = agg.aggregate(functions=("count",))
+        layout = agg.engine.layout
+        max_pairs = layout.num_sensitive_bins * layout.num_non_sensitive_bins
+        assert trace.cloud_round_trips <= max_pairs
+        assert trace.groups == len(relation.distinct_values("region"))
+
+    def test_specific_groups_only(self, aggregator):
+        relation, agg = aggregator
+        results, _trace = agg.aggregate(
+            measure="amount", functions=("count", "sum"), groups=["north", "nowhere"]
+        )
+        by_group = {r.group: r for r in results}
+        truth = ground_truth(relation)
+        assert by_group["north"].count == truth["north"]["count"]
+        assert by_group["nowhere"].count == 0
+
+    def test_measure_required_for_numeric_aggregates(self, aggregator):
+        _relation, agg = aggregator
+        with pytest.raises(QueryError):
+            agg.aggregate(functions=("sum",))
+
+    def test_unknown_function_rejected(self, aggregator):
+        _relation, agg = aggregator
+        with pytest.raises(QueryError):
+            agg.aggregate(functions=("median",))
+
+    def test_requires_set_up_engine(self):
+        relation = sales_relation()
+        partition = partition_relation(relation, SensitivityPolicy())
+        engine = QueryBinningEngine(
+            partition=partition, attribute="region", scheme=NonDeterministicScheme()
+        )
+        with pytest.raises(ConfigurationError):
+            GroupByAggregator(engine)

@@ -1,0 +1,168 @@
+"""Unit tests for Algorithm 1 (base-case bin creation)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.binning import create_bins, create_bins_with_layout_choice
+from repro.core.factors import approx_square_factors
+from repro.crypto.primitives import SecretKey
+from repro.exceptions import BinningError
+
+
+def rng():
+    return random.Random(99)
+
+
+class TestCreateBinsStructure:
+    def test_paper_matrix_example_16_values(self):
+        """16 associated values -> a 4x4 layout (the paper's matrix example)."""
+        values = [str(v) for v in range(16)]
+        layout = create_bins(values, values, rng=rng())
+        assert layout.num_sensitive_bins == 4
+        assert layout.num_non_sensitive_bins == 4
+        assert layout.max_sensitive_bin_size == 4
+        assert layout.max_non_sensitive_bin_size == 4
+
+    def test_paper_example3_10_values(self):
+        """10 sensitive / 10 non-sensitive values -> 5 sensitive bins of 2 and
+        2 non-sensitive bins of 5 (Figure 3)."""
+        sensitive = [f"s{i}" for i in range(1, 11)]
+        non_sensitive = [f"s{i}" for i in (1, 2, 3, 5, 6)] + [
+            f"ns{i}" for i in (11, 12, 13, 14, 15)
+        ]
+        layout = create_bins(sensitive, non_sensitive, rng=rng())
+        assert layout.num_sensitive_bins == 5
+        assert layout.num_non_sensitive_bins == 2
+        assert layout.max_sensitive_bin_size == 2
+        assert layout.max_non_sensitive_bin_size == 5
+
+    def test_all_values_placed_exactly_once(self):
+        sensitive = [f"s{i}" for i in range(13)]
+        non_sensitive = [f"n{i}" for i in range(29)]
+        layout = create_bins(sensitive, non_sensitive, rng=rng())
+        assert sorted(layout.sensitive_values) == sorted(sensitive)
+        assert sorted(layout.non_sensitive_values) == sorted(non_sensitive)
+
+    def test_layout_validates_itself(self):
+        sensitive = [f"v{i}" for i in range(8)]
+        non_sensitive = [f"v{i}" for i in range(20)]
+        layout = create_bins(sensitive, non_sensitive, rng=rng())
+        layout.validate()
+
+    def test_duplicate_inputs_are_deduplicated(self):
+        layout = create_bins(["a", "a", "b"], ["c", "c", "d"], rng=rng())
+        assert sorted(layout.sensitive_values) == ["a", "b"]
+        assert sorted(layout.non_sensitive_values) == ["c", "d"]
+
+    def test_explicit_layout_respected(self):
+        sensitive = [f"s{i}" for i in range(6)]
+        non_sensitive = [f"n{i}" for i in range(12)]
+        layout = create_bins(
+            sensitive, non_sensitive, num_sensitive_bins=3, num_non_sensitive_bins=4, rng=rng()
+        )
+        assert layout.num_sensitive_bins == 3
+        assert layout.num_non_sensitive_bins == 4
+
+    def test_no_values_at_all_rejected(self):
+        with pytest.raises(BinningError):
+            create_bins([], [], rng=rng())
+
+    def test_only_sensitive_values_supported(self):
+        layout = create_bins([f"s{i}" for i in range(5)], [], rng=rng())
+        assert sorted(layout.sensitive_values) == [f"s{i}" for i in range(5)]
+        assert layout.non_sensitive_values == ()
+
+    def test_only_non_sensitive_values_supported(self):
+        layout = create_bins([], [f"n{i}" for i in range(9)], rng=rng())
+        assert layout.num_sensitive_bins == 3
+        assert len(layout.non_sensitive_values) == 9
+
+    def test_invalid_bin_counts_rejected(self):
+        with pytest.raises(BinningError):
+            create_bins(["a"], ["b"], num_sensitive_bins=0, rng=rng())
+        with pytest.raises(BinningError):
+            create_bins(["a"], ["b"], num_non_sensitive_bins=0, rng=rng())
+
+
+class TestAssociationPlacement:
+    def test_associated_values_are_transposed(self):
+        """The partner of the j-th value of sensitive bin i must live in
+        non-sensitive bin j at position i."""
+        values = [str(v) for v in range(25)]
+        layout = create_bins(values, values, rng=rng())
+        for value in values:
+            s_bin, s_pos = layout.locate_sensitive(value)
+            ns_bin, ns_pos = layout.locate_non_sensitive(value)
+            assert ns_bin == s_pos
+            assert ns_pos == s_bin
+
+    def test_partial_association(self):
+        sensitive = [f"s{i}" for i in range(10)]
+        associated = sensitive[:4]
+        non_sensitive = associated + [f"n{i}" for i in range(6)]
+        layout = create_bins(sensitive, non_sensitive, rng=rng())
+        for value in associated:
+            s_bin, s_pos = layout.locate_sensitive(value)
+            ns_bin, _ = layout.locate_non_sensitive(value)
+            assert ns_bin == s_pos
+
+    def test_permutation_key_changes_layout(self):
+        values = [str(v) for v in range(30)]
+        layout_a = create_bins(values, values, permutation_key=SecretKey.from_passphrase("a"))
+        layout_b = create_bins(values, values, permutation_key=SecretKey.from_passphrase("b"))
+        bins_a = [bin_.values for bin_ in layout_a.sensitive_bins]
+        bins_b = [bin_.values for bin_ in layout_b.sensitive_bins]
+        assert bins_a != bins_b
+
+    def test_same_key_reproduces_layout(self):
+        values = [str(v) for v in range(30)]
+        key = SecretKey.from_passphrase("stable")
+        layout_a = create_bins(values, values, permutation_key=key)
+        layout_b = create_bins(values, values, permutation_key=key)
+        assert [b.values for b in layout_a.sensitive_bins] == [
+            b.values for b in layout_b.sensitive_bins
+        ]
+
+
+class TestLayoutChoice:
+    def test_bad_factorisation_falls_back_to_square(self):
+        """The paper's 41/82 example: the exact factorisation (41x2) retrieves
+        1 + 41 values per query, the 9x9-ish square layout far fewer."""
+        sensitive = [f"s{i}" for i in range(41)]
+        non_sensitive = [f"s{i}" for i in range(20)] + [f"n{i}" for i in range(62)]
+        layout = create_bins_with_layout_choice(sensitive, non_sensitive, rng=rng())
+        per_query = layout.max_sensitive_bin_size + layout.max_non_sensitive_bin_size
+        assert per_query < 1 + 41
+
+    def test_square_layout_keeps_all_pairs_covered(self):
+        from repro.core.binning import layout_covers_all_bin_pairs
+
+        sensitive = [f"s{i}" for i in range(41)]
+        non_sensitive = [f"s{i}" for i in range(20)] + [f"n{i}" for i in range(62)]
+        layout = create_bins_with_layout_choice(sensitive, non_sensitive, rng=rng())
+        assert layout_covers_all_bin_pairs(layout)
+
+    def test_choice_falls_back_to_exact_when_square_uncoverable(self):
+        """When every sensitive value is associated, the nearest-square layout
+        cannot keep all bin pairs covered, so the exact factorisation is used
+        even though it is wider."""
+        from repro.core.binning import layout_covers_all_bin_pairs
+
+        sensitive = [f"v{i}" for i in range(41)]
+        non_sensitive = [f"v{i}" for i in range(41)] + [f"n{i}" for i in range(41)]
+        layout = create_bins_with_layout_choice(sensitive, non_sensitive, rng=rng())
+        assert layout_covers_all_bin_pairs(layout)
+
+    def test_choice_matches_plain_create_for_square_counts(self):
+        values = [str(v) for v in range(36)]
+        chosen = create_bins_with_layout_choice(values, values, rng=rng())
+        assert chosen.num_sensitive_bins == 6
+        assert chosen.num_non_sensitive_bins == 6
+
+    def test_bin_width_scales_as_sqrt(self):
+        for count in (25, 64, 100, 225):
+            values = [str(v) for v in range(count)]
+            layout = create_bins_with_layout_choice(values, values, rng=rng())
+            assert layout.max_non_sensitive_bin_size <= math.isqrt(count) + 2

@@ -1,0 +1,106 @@
+"""Unit tests for the Bin / BinLayout data structures."""
+
+import pytest
+
+from repro.core.bins import Bin, BinLayout
+from repro.exceptions import BinningError
+
+
+class TestBin:
+    def test_append_fills_first_empty_slot(self):
+        bin_ = Bin(index=0, slots=["a", None, "c"])
+        position = bin_.append("b")
+        assert position == 1
+        assert bin_.values == ("a", "b", "c")
+
+    def test_append_grows_when_full(self):
+        bin_ = Bin(index=0, slots=["a"])
+        assert bin_.append("b") == 1
+        assert bin_.slots == ["a", "b"]
+
+    def test_place_grows_slots(self):
+        bin_ = Bin(index=0)
+        bin_.place(3, "x")
+        assert bin_.slots == [None, None, None, "x"]
+
+    def test_place_conflict_rejected(self):
+        bin_ = Bin(index=0, slots=["a"])
+        with pytest.raises(BinningError):
+            bin_.place(0, "b")
+        bin_.place(0, "a")  # idempotent placement of the same value is fine
+
+    def test_place_negative_rejected(self):
+        with pytest.raises(BinningError):
+            Bin(index=0).place(-1, "x")
+
+    def test_position_of(self):
+        bin_ = Bin(index=0, slots=["a", None, "b"])
+        assert bin_.position_of("b") == 2
+        with pytest.raises(BinningError):
+            bin_.position_of("zzz")
+
+    def test_contains_iter_len_skip_empty(self):
+        bin_ = Bin(index=0, slots=["a", None, "b"])
+        assert "a" in bin_ and None not in list(bin_)
+        assert len(bin_) == 2
+        assert bin_.size == 2
+
+
+class TestBinLayout:
+    def _layout(self):
+        sensitive = [Bin(0, ["s0", "s2"]), Bin(1, ["s1", "s3"])]
+        non_sensitive = [Bin(0, ["s0", "s1"]), Bin(1, ["ns0", "ns1"])]
+        return BinLayout(sensitive, non_sensitive, attribute="A")
+
+    def test_locations(self):
+        layout = self._layout()
+        assert layout.locate_sensitive("s3") == (1, 1)
+        assert layout.locate_non_sensitive("ns1") == (1, 1)
+        assert layout.locate_sensitive("missing") is None
+
+    def test_contains(self):
+        layout = self._layout()
+        assert "s0" in layout and "ns0" in layout and "zzz" not in layout
+
+    def test_counts_and_sizes(self):
+        layout = self._layout()
+        assert layout.num_sensitive_bins == 2
+        assert layout.num_non_sensitive_bins == 2
+        assert layout.max_sensitive_bin_size == 2
+        assert layout.max_non_sensitive_bin_size == 2
+
+    def test_bin_accessors_raise_for_bad_index(self):
+        layout = self._layout()
+        with pytest.raises(BinningError):
+            layout.sensitive_bin(5)
+        with pytest.raises(BinningError):
+            layout.non_sensitive_bin(5)
+
+    def test_duplicate_placement_rejected(self):
+        with pytest.raises(BinningError):
+            BinLayout([Bin(0, ["a"]), Bin(1, ["a"])], [Bin(0, [])])
+
+    def test_validate_accepts_transposed_associations(self):
+        # s0 at (bin 0, pos 0) appears in non-sensitive bin 0 at pos 0: OK.
+        self._layout().validate()
+
+    def test_validate_rejects_misplaced_association(self):
+        sensitive = [Bin(0, ["v"]), Bin(1, ["w"])]
+        # "v" sits at sensitive position 0 but in non-sensitive bin 1: invalid.
+        non_sensitive = [Bin(0, ["x"]), Bin(1, ["v"])]
+        layout = BinLayout(sensitive, non_sensitive)
+        with pytest.raises(BinningError):
+            layout.validate()
+
+    def test_validate_rejects_position_beyond_bins(self):
+        sensitive = [Bin(0, ["a", "b", "c"])]
+        non_sensitive = [Bin(0, ["x"])]
+        layout = BinLayout(sensitive, non_sensitive)
+        with pytest.raises(BinningError):
+            layout.validate()
+
+    def test_describe_mentions_fake_tuples(self):
+        layout = BinLayout(
+            [Bin(0, ["a"])], [Bin(0, ["b"])], fake_tuples={0: 3}, attribute="A"
+        )
+        assert "+3 fake" in layout.describe()

@@ -1,0 +1,50 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main, run_attacks, run_demo, run_eta, run_table6
+
+
+class TestSubcommandFunctions:
+    def test_demo_is_secure(self, capsys):
+        assert run_demo(seed=3) == 0
+        output = capsys.readouterr().out
+        assert "partitioned data security: OK" in output
+
+    def test_attacks_qb_resists(self, capsys):
+        assert run_attacks(num_values=30, num_queries=60, seed=5) == 0
+        output = capsys.readouterr().out
+        assert "with QB" in output
+
+    def test_eta_below_one_for_strong_crypto(self, capsys):
+        assert run_eta(alpha=0.4, gamma=25_000) == 0
+        assert "eta = " in capsys.readouterr().out
+
+    def test_eta_above_one_for_cheap_crypto(self):
+        assert run_eta(alpha=0.9, gamma=2, quiet=True) == 1
+
+    def test_table6_prints_both_rows(self, capsys):
+        assert run_table6() == 0
+        output = capsys.readouterr().out
+        assert "Opaque + QB" in output and "Jana + QB" in output
+
+
+class TestArgumentParsing:
+    def test_parser_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_main_dispatches_demo(self, capsys):
+        assert main(["demo", "--seed", "4"]) == 0
+        assert "Bin layout" in capsys.readouterr().out
+
+    def test_main_dispatches_eta(self):
+        assert main(["--quiet", "eta", "--alpha", "0.3"]) == 0
+
+    def test_main_dispatches_table6_quiet(self, capsys):
+        assert main(["--quiet", "table6"]) == 0
+        assert capsys.readouterr().out == ""
+
+    def test_eta_requires_alpha(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["eta"])

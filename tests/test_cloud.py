@@ -1,0 +1,229 @@
+"""Unit tests for the cloud substrate: indexes, network model, servers."""
+
+import pytest
+
+from repro.cloud.indexes import HashIndex, SortedIndex
+from repro.cloud.multi_cloud import MultiCloud
+from repro.cloud.network import NetworkModel
+from repro.cloud.server import CloudServer
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import CloudError, UnknownAttributeError
+
+
+def keyed_relation(num_rows=12):
+    schema = Schema([Attribute("key"), Attribute("payload")])
+    relation = Relation("r", schema)
+    for i in range(num_rows):
+        relation.insert({"key": f"k{i % 4}", "payload": str(i)})
+    return relation
+
+
+class TestHashIndex:
+    def test_lookup_finds_all_matching_rows(self):
+        index = HashIndex(keyed_relation(), "key")
+        assert len(index.lookup("k1")) == 3
+        assert index.lookup("missing") == []
+
+    def test_lookup_many_unions(self):
+        index = HashIndex(keyed_relation(), "key")
+        assert len(index.lookup_many(["k0", "k1"])) == 6
+
+    def test_probe_count_tracks_work(self):
+        index = HashIndex(keyed_relation(), "key")
+        index.lookup_many(["k0", "k1", "k2"])
+        assert index.probe_count == 3
+
+    def test_add_row_updates_index(self):
+        relation = keyed_relation()
+        index = HashIndex(relation, "key")
+        new_row = relation.insert({"key": "k9", "payload": "new"})
+        index.add_row(new_row)
+        assert [r.rid for r in index.lookup("k9")] == [new_row.rid]
+
+    def test_distinct_count_and_len(self):
+        index = HashIndex(keyed_relation(), "key")
+        assert index.distinct_count() == 4
+        assert len(index) == 12
+
+    def test_unknown_attribute_rejected(self):
+        with pytest.raises(UnknownAttributeError):
+            HashIndex(keyed_relation(), "nope")
+
+
+class TestSortedIndex:
+    def _numeric_relation(self):
+        schema = Schema([Attribute("n", dtype=int)])
+        relation = Relation("nums", schema)
+        for value in [5, 3, 9, 3, 7, 1]:
+            relation.insert({"n": value})
+        return relation
+
+    def test_equality_lookup(self):
+        index = SortedIndex(self._numeric_relation(), "n")
+        assert len(index.lookup(3)) == 2
+        assert index.lookup(100) == []
+
+    def test_range_lookup(self):
+        index = SortedIndex(self._numeric_relation(), "n")
+        values = sorted(r["n"] for r in index.range(3, 7))
+        assert values == [3, 3, 5, 7]
+
+    def test_range_exclusive_bounds(self):
+        index = SortedIndex(self._numeric_relation(), "n")
+        values = sorted(r["n"] for r in index.range(3, 7, include_low=False, include_high=False))
+        assert values == [5]
+
+    def test_open_ended_range(self):
+        index = SortedIndex(self._numeric_relation(), "n")
+        assert sorted(r["n"] for r in index.range(low=7)) == [7, 9]
+        assert sorted(r["n"] for r in index.range(high=3)) == [1, 3, 3]
+
+    def test_min_max_and_add(self):
+        index = SortedIndex(self._numeric_relation(), "n")
+        assert index.min_key() == 1 and index.max_key() == 9
+        relation = self._numeric_relation()
+        index2 = SortedIndex(relation, "n")
+        row = relation.insert({"n": 100})
+        index2.add_row(row)
+        assert index2.max_key() == 100
+
+
+class TestNetworkModel:
+    def test_seconds_per_tuple_matches_bandwidth(self):
+        network = NetworkModel(bandwidth_mbps=30.0, bytes_per_tuple=200, latency_seconds=0.0)
+        assert network.seconds_per_tuple == pytest.approx(200 * 8 / 30e6)
+
+    def test_transfer_and_logging(self):
+        network = NetworkModel(latency_seconds=0.0)
+        seconds = network.record("download", "results", tuples=100)
+        assert seconds > 0
+        assert network.total_tuples("download") == 100
+        assert network.total_seconds() == pytest.approx(seconds)
+
+    def test_direction_filters(self):
+        network = NetworkModel()
+        network.record("upload", "outsource", tuples=10)
+        network.record("download", "results", tuples=5)
+        assert network.total_tuples("upload") == 10
+        assert network.total_tuples("download") == 5
+        assert network.total_tuples() == 15
+
+    def test_reset(self):
+        network = NetworkModel()
+        network.record("upload", "x", tuples=1)
+        network.reset()
+        assert network.total_seconds() == 0.0 and len(network.log) == 0
+
+
+class TestCloudServer:
+    def _stored_server(self):
+        relation = keyed_relation()
+        scheme = NonDeterministicScheme()
+        encrypted = scheme.encrypt_rows(list(relation.rows)[:4], "key")
+        server = CloudServer()
+        server.store_non_sensitive(relation)
+        server.store_sensitive(encrypted, scheme)
+        return server, scheme
+
+    def test_requires_outsourcing_before_queries(self):
+        server = CloudServer()
+        with pytest.raises(CloudError):
+            server.non_sensitive_relation
+        with pytest.raises(CloudError):
+            server.build_index("key")
+
+    def test_process_request_returns_both_halves(self):
+        server, scheme = self._stored_server()
+        tokens = scheme.tokens_for_values(["k0"], "key")
+        response = server.process_request("key", ["k0"], tokens)
+        assert response.total_returned == len(response.non_sensitive_rows) + len(
+            response.encrypted_rows
+        )
+        assert response.non_sensitive_rows  # cleartext matches exist
+
+    def test_adversarial_view_recorded(self):
+        server, scheme = self._stored_server()
+        server.process_request("key", ["k0", "k1"], scheme.tokens_for_values(["k0"], "key"))
+        assert len(server.view_log) == 1
+        view = server.view_log.views[0]
+        assert view.non_sensitive_request == ("k0", "k1")
+        assert view.sensitive_request_size >= 1
+
+    def test_statistics_accumulate(self):
+        server, scheme = self._stored_server()
+        server.process_request("key", ["k0"], [])
+        server.process_request("key", ["k1"], [])
+        assert server.stats.queries_served == 2
+        assert server.stats.non_sensitive_rows_returned == 6
+
+    def test_sensitive_search_requires_scheme(self):
+        server = CloudServer()
+        server.store_non_sensitive(keyed_relation())
+        with pytest.raises(CloudError):
+            server.process_request("key", [], [object()])
+
+    def test_append_rows(self):
+        server, scheme = self._stored_server()
+        before = server.encrypted_row_count
+        more = scheme.encrypt_rows(list(keyed_relation().rows)[:2], "key")
+        server.append_sensitive(more)
+        assert server.encrypted_row_count == before + 2
+        added = server.append_non_sensitive([{"key": "k7", "payload": "x"}])
+        assert added == 1
+        response = server.process_request("key", ["k7"], [])
+        assert len(response.non_sensitive_rows) == 1
+
+    def test_reset_observations(self):
+        server, scheme = self._stored_server()
+        server.process_request("key", ["k0"], [])
+        server.reset_observations()
+        assert len(server.view_log) == 0 and server.stats.queries_served == 0
+
+    def test_without_indexes_falls_back_to_scan(self):
+        relation = keyed_relation()
+        server = CloudServer(use_indexes=False)
+        server.store_non_sensitive(relation)
+        response = server.process_request("key", ["k2"], [])
+        assert len(response.non_sensitive_rows) == 3
+
+
+class TestMultiCloud:
+    def test_requires_two_servers(self):
+        with pytest.raises(CloudError):
+            MultiCloud(count=1)
+
+    def test_broadcast_and_fan_out(self):
+        clouds = MultiCloud(count=2)
+        relation = keyed_relation()
+        clouds.broadcast_non_sensitive(relation)
+        scheme = NonDeterministicScheme()
+        rows = list(relation.rows)[:4]
+        encrypted = scheme.encrypt_rows(rows, "key")
+        clouds.distribute_sensitive([encrypted, encrypted], scheme)
+        tokens = scheme.tokens_for_values(["k0"], "key")
+        responses = clouds.fan_out("key", ["k0"], [tokens, tokens])
+        assert len(responses) == 2
+        # cleartext request charged only to the first server
+        assert responses[1].non_sensitive_rows == []
+
+    def test_distribution_shape_checked(self):
+        clouds = MultiCloud(count=3)
+        scheme = NonDeterministicScheme()
+        with pytest.raises(CloudError):
+            clouds.distribute_sensitive([[], []], scheme)
+        with pytest.raises(CloudError):
+            clouds.fan_out("key", [], [[], []])
+
+    def test_view_isolation_per_server(self):
+        clouds = MultiCloud(count=2)
+        relation = keyed_relation()
+        clouds.broadcast_non_sensitive(relation)
+        scheme = NonDeterministicScheme()
+        encrypted = scheme.encrypt_rows(list(relation.rows)[:4], "key")
+        clouds.distribute_sensitive([encrypted, []], scheme)
+        clouds.fan_out("key", ["k0"], [scheme.tokens_for_values(["k0"], "key"), []])
+        sizes = clouds.single_server_view_sizes()
+        assert sizes["cloud-0"] == 1 and sizes["cloud-1"] == 1
+        assert clouds.total_transfer_seconds() > 0

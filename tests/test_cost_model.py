@@ -1,0 +1,160 @@
+"""Tests for the analytical cost model (§V-A) and its paper-level claims."""
+
+import math
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.model.cost import (
+    break_even_alpha,
+    cost_crypt,
+    cost_plain,
+    crossover_gamma,
+    eta_full,
+    eta_simplified,
+    eta_sweep,
+)
+from repro.model.parameters import CostParameters
+
+
+class TestCostParameters:
+    def test_ratios(self):
+        params = CostParameters(
+            communication_cost=4e-6, plaintext_cost=1e-5, encrypted_cost=1e-2
+        )
+        assert params.beta == pytest.approx(1000.0)
+        assert params.gamma == pytest.approx(2500.0)
+
+    def test_from_ratios_round_trips(self):
+        params = CostParameters.from_ratios(gamma=25000, beta=500, selectivity=0.1)
+        assert params.gamma == pytest.approx(25000)
+        assert params.beta == pytest.approx(500)
+        assert params.rho == pytest.approx(0.1)
+
+    def test_paper_defaults_have_large_gamma(self):
+        assert CostParameters.paper_defaults().gamma > 1000
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CostParameters(communication_cost=0, plaintext_cost=1, encrypted_cost=1)
+        with pytest.raises(ConfigurationError):
+            CostParameters(
+                communication_cost=1, plaintext_cost=1, encrypted_cost=1, selectivity=0
+            )
+        with pytest.raises(ConfigurationError):
+            CostParameters.from_ratios(gamma=-1)
+
+    def test_with_selectivity(self):
+        params = CostParameters.paper_defaults().with_selectivity(0.25)
+        assert params.rho == 0.25
+
+
+class TestCostFunctions:
+    def test_plain_cost_scales_with_probes(self):
+        params = CostParameters.paper_defaults()
+        assert cost_plain(10, 1000, params) == pytest.approx(10 * cost_plain(1, 1000, params))
+
+    def test_crypt_cost_amortises_probes(self):
+        """Encrypted processing is a single scan: extra probes only add
+        communication, so doubling probes far less than doubles the cost."""
+        params = CostParameters.paper_defaults()
+        one = cost_crypt(1, 100_000, params)
+        ten = cost_crypt(10, 100_000, params)
+        assert ten < 2 * one
+
+    def test_zero_tuples_cost_nothing(self):
+        params = CostParameters.paper_defaults()
+        assert cost_plain(5, 0, params) == 0.0
+        assert cost_crypt(5, 0, params) == 0.0
+
+    def test_crypt_far_more_expensive_than_plain(self):
+        params = CostParameters.paper_defaults()
+        assert cost_crypt(1, 10_000, params) > 100 * cost_plain(1, 10_000, params)
+
+
+class TestEta:
+    def test_eta_increases_with_alpha(self):
+        params = CostParameters.from_ratios(gamma=25000, selectivity=0.1)
+        etas = [eta_simplified(alpha, 100, 100, params) for alpha in (0.1, 0.3, 0.6, 0.9)]
+        assert etas == sorted(etas)
+
+    def test_eta_decreases_with_gamma(self):
+        etas = []
+        for gamma in (100, 1000, 10000, 50000):
+            params = CostParameters.from_ratios(gamma=gamma, selectivity=0.1)
+            etas.append(eta_simplified(0.3, 100, 100, params))
+        assert etas == sorted(etas, reverse=True)
+
+    def test_eta_below_one_for_paper_parameters(self):
+        """The paper's headline claim: with γ ≈ 25000 QB beats full encryption
+        for almost any sensitivity fraction."""
+        params = CostParameters.from_ratios(gamma=25000, selectivity=0.1)
+        for alpha in (0.01, 0.1, 0.3, 0.6, 0.9):
+            assert eta_simplified(alpha, 100, 100, params) < 1.0
+
+    def test_eta_above_one_when_crypto_is_cheap(self):
+        """For cheap crypto (small γ) QB's extra communication is not worth it
+        — the paper's motivation for not using QB with indexable encryption."""
+        params = CostParameters.from_ratios(gamma=5, selectivity=0.1)
+        assert eta_simplified(0.9, 100, 100, params) > 1.0
+
+    def test_eta_full_close_to_simplified_for_large_gamma(self):
+        params = CostParameters.from_ratios(gamma=25000, beta=1000, selectivity=0.01)
+        total = 1_000_000
+        alpha = 0.3
+        full = eta_full(
+            sensitive_tuples=int(total * alpha),
+            non_sensitive_tuples=int(total * (1 - alpha)),
+            sensitive_bin_width=800,
+            non_sensitive_bin_width=800,
+            params=params,
+        )
+        simple = eta_simplified(alpha, 800, 800, params)
+        assert full == pytest.approx(simple, rel=0.15)
+
+    def test_eta_simplified_validates_alpha(self):
+        params = CostParameters.paper_defaults()
+        with pytest.raises(ConfigurationError):
+            eta_simplified(1.5, 10, 10, params)
+
+    def test_eta_full_requires_tuples(self):
+        with pytest.raises(ConfigurationError):
+            eta_full(0, 0, 1, 1, CostParameters.paper_defaults())
+
+
+class TestBreakEvenAndSweep:
+    def test_break_even_close_to_one_for_large_gamma(self):
+        params = CostParameters.from_ratios(gamma=25000)
+        assert break_even_alpha(1_000_000, params) > 0.99
+
+    def test_break_even_decreases_for_small_gamma(self):
+        big = break_even_alpha(10_000, CostParameters.from_ratios(gamma=10000))
+        small = break_even_alpha(10_000, CostParameters.from_ratios(gamma=10))
+        assert small < big
+
+    def test_crossover_gamma_matches_eta_one(self):
+        alpha, ns = 0.6, 40_000
+        gamma_star = crossover_gamma(alpha, ns, rho=0.1)
+        params = CostParameters.from_ratios(gamma=gamma_star, selectivity=0.1)
+        width = int(round(math.sqrt(ns)))
+        assert eta_simplified(alpha, width, width, params) == pytest.approx(1.0, rel=0.01)
+
+    def test_crossover_gamma_infinite_for_alpha_one(self):
+        assert crossover_gamma(1.0, 100) == math.inf
+
+    def test_eta_sweep_structure(self):
+        """Figure 6a: one curve per α, η monotone in γ, ordered by α."""
+        gammas = [100, 1000, 10000, 50000]
+        alphas = [0.3, 0.6, 0.9, 1.0]
+        curves = eta_sweep(gammas, alphas, num_non_sensitive_values=40_000, rho=0.1)
+        assert set(curves) == set(alphas)
+        for alpha, points in curves.items():
+            etas = [eta for _gamma, eta in points]
+            assert etas == sorted(etas, reverse=True)
+        # at fixed gamma, higher alpha -> higher eta
+        at_10k = {alpha: dict(points)[10000] for alpha, points in curves.items()}
+        assert at_10k[0.3] < at_10k[0.6] < at_10k[0.9] < at_10k[1.0]
+
+    def test_eta_sweep_alpha_one_stays_above_one(self):
+        curves = eta_sweep([1000, 10000], [1.0], num_non_sensitive_values=10_000, rho=0.1)
+        assert all(eta >= 1.0 for _g, eta in curves[1.0])

@@ -1,0 +1,140 @@
+"""Unit tests for the low-level cryptographic primitives."""
+
+import pytest
+
+from repro.crypto.primitives import (
+    SecretKey,
+    aead_decrypt,
+    aead_encrypt,
+    constant_time_equals,
+    decode_value,
+    encode_value,
+    has_hardware_aes,
+    keyed_permutation,
+    prf,
+    prf_int,
+    random_bytes,
+)
+from repro.exceptions import CryptoError, IntegrityError
+
+
+class TestKeys:
+    def test_generate_produces_distinct_keys(self):
+        assert SecretKey.generate().material != SecretKey.generate().material
+
+    def test_passphrase_derivation_is_deterministic(self):
+        a = SecretKey.from_passphrase("hunter2")
+        b = SecretKey.from_passphrase("hunter2")
+        assert a.material == b.material
+
+    def test_derive_is_deterministic_and_domain_separated(self):
+        key = SecretKey.from_passphrase("k")
+        assert key.derive("a").material == key.derive("a").material
+        assert key.derive("a").material != key.derive("b").material
+
+    def test_repr_does_not_leak_material(self):
+        key = SecretKey.generate()
+        assert key.material.hex() not in repr(key)
+
+
+class TestPrf:
+    def test_prf_deterministic(self):
+        assert prf(b"k", b"m") == prf(b"k", b"m")
+
+    def test_prf_key_and_message_sensitivity(self):
+        assert prf(b"k1", b"m") != prf(b"k2", b"m")
+        assert prf(b"k", b"m1") != prf(b"k", b"m2")
+
+    def test_prf_int_in_range(self):
+        for modulus in (1, 2, 7, 1000):
+            assert 0 <= prf_int(b"k", b"m", modulus) < modulus
+
+    def test_prf_int_rejects_bad_modulus(self):
+        with pytest.raises(CryptoError):
+            prf_int(b"k", b"m", 0)
+
+    def test_constant_time_equals(self):
+        assert constant_time_equals(b"abc", b"abc")
+        assert not constant_time_equals(b"abc", b"abd")
+
+
+class TestValueEncoding:
+    @pytest.mark.parametrize(
+        "value", ["hello", "", 0, -17, 2**70, 3.5, True, False, None, ("t", 1)]
+    )
+    def test_round_trip(self, value):
+        assert decode_value(encode_value(value)) == value
+
+    def test_distinct_types_do_not_collide(self):
+        assert encode_value(1) != encode_value("1")
+        assert encode_value(True) != encode_value(1)
+
+    def test_malformed_blob_rejected(self):
+        with pytest.raises(CryptoError):
+            decode_value(b"xx")
+        with pytest.raises(CryptoError):
+            decode_value(b"q:junk")
+
+
+class TestKeyedPermutation:
+    def test_permutation_is_a_permutation(self):
+        items = list(range(50))
+        permuted = keyed_permutation(items, SecretKey.from_passphrase("p"))
+        assert sorted(permuted) == items
+
+    def test_permutation_deterministic_per_key(self):
+        items = list(range(20))
+        key = SecretKey.from_passphrase("p")
+        assert keyed_permutation(items, key) == keyed_permutation(items, key)
+
+    def test_permutation_differs_across_keys(self):
+        items = list(range(40))
+        first = keyed_permutation(items, SecretKey.from_passphrase("a"))
+        second = keyed_permutation(items, SecretKey.from_passphrase("b"))
+        assert first != second
+
+    def test_empty_and_singleton(self):
+        key = SecretKey.generate()
+        assert keyed_permutation([], key) == []
+        assert keyed_permutation(["x"], key) == ["x"]
+
+
+class TestAead:
+    def test_round_trip(self):
+        key = SecretKey.generate()
+        blob = aead_encrypt(key, b"attack at dawn")
+        assert aead_decrypt(key, blob) == b"attack at dawn"
+
+    def test_probabilistic(self):
+        key = SecretKey.generate()
+        assert aead_encrypt(key, b"same") != aead_encrypt(key, b"same")
+
+    def test_wrong_key_fails(self):
+        blob = aead_encrypt(SecretKey.generate(), b"secret")
+        with pytest.raises((IntegrityError, CryptoError)):
+            aead_decrypt(SecretKey.generate(), blob)
+
+    def test_tampering_detected(self):
+        key = SecretKey.generate()
+        blob = bytearray(aead_encrypt(key, b"secret payload"))
+        blob[-1] ^= 0xFF
+        with pytest.raises((IntegrityError, CryptoError)):
+            aead_decrypt(key, bytes(blob))
+
+    def test_associated_data_checked(self):
+        key = SecretKey.generate()
+        blob = aead_encrypt(key, b"secret", associated_data=b"ctx")
+        assert aead_decrypt(key, blob, associated_data=b"ctx") == b"secret"
+        with pytest.raises((IntegrityError, CryptoError)):
+            aead_decrypt(key, blob, associated_data=b"other")
+
+    def test_truncated_ciphertext_rejected(self):
+        with pytest.raises((IntegrityError, CryptoError)):
+            aead_decrypt(SecretKey.generate(), b"\x01short")
+
+    def test_random_bytes_length_and_uniqueness(self):
+        assert len(random_bytes(16)) == 16
+        assert random_bytes(16) != random_bytes(16)
+
+    def test_hardware_flag_is_boolean(self):
+        assert isinstance(has_hardware_aes(), bool)

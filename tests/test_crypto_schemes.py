@@ -1,0 +1,156 @@
+"""Unit tests for the encrypted-search schemes (shared behaviour + leakage)."""
+
+import pytest
+
+from repro.crypto.arx_index import ArxIndexScheme
+from repro.crypto.base import EncryptedRow
+from repro.crypto.deterministic import DeterministicScheme
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.crypto.searchable import SSEScheme
+from repro.data.relation import Relation, Row
+from repro.data.schema import Attribute, Schema
+
+ALL_SCHEMES = [NonDeterministicScheme, DeterministicScheme, SSEScheme, ArxIndexScheme]
+
+
+def sample_rows():
+    schema = Schema([Attribute("key"), Attribute("payload")])
+    relation = Relation("r", schema)
+    for i, key in enumerate(["a", "b", "a", "c", "b", "a"]):
+        relation.insert(
+            {"key": key, "payload": f"confidential-payload-{i}"}, sensitive=True
+        )
+    return list(relation.rows)
+
+
+@pytest.mark.parametrize("scheme_cls", ALL_SCHEMES)
+class TestSchemeContract:
+    """Behaviour every EncryptedSearchScheme must satisfy."""
+
+    def test_search_returns_exactly_matching_rows(self, scheme_cls):
+        scheme = scheme_cls()
+        rows = sample_rows()
+        stored = scheme.encrypt_rows(rows, "key")
+        tokens = scheme.tokens_for_values(["a"], "key")
+        matches = scheme.search(stored, tokens)
+        expected_rids = {r.rid for r in rows if r["key"] == "a"}
+        assert {m.rid for m in matches} == expected_rids
+
+    def test_multi_value_search_unions_matches(self, scheme_cls):
+        scheme = scheme_cls()
+        rows = sample_rows()
+        stored = scheme.encrypt_rows(rows, "key")
+        tokens = scheme.tokens_for_values(["a", "c"], "key")
+        matches = scheme.search(stored, tokens)
+        expected = {r.rid for r in rows if r["key"] in {"a", "c"}}
+        assert {m.rid for m in matches} == expected
+
+    def test_search_for_absent_value_returns_nothing(self, scheme_cls):
+        scheme = scheme_cls()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        tokens = scheme.tokens_for_values(["zzz"], "key")
+        assert scheme.search(stored, tokens) == []
+
+    def test_decrypt_recovers_original_values(self, scheme_cls):
+        scheme = scheme_cls()
+        rows = sample_rows()
+        stored = scheme.encrypt_rows(rows, "key")
+        decrypted = scheme.decrypt_rows(stored)
+        assert sorted(r.rid for r in decrypted) == sorted(r.rid for r in rows)
+        by_rid = {r.rid: r for r in decrypted}
+        for row in rows:
+            assert by_rid[row.rid].as_dict() == row.as_dict()
+
+    def test_ciphertext_does_not_contain_plaintext(self, scheme_cls):
+        scheme = scheme_cls()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        for encrypted in stored:
+            assert b"confidential-payload" not in encrypted.ciphertext
+
+    def test_fake_rows_are_dropped_on_decryption(self, scheme_cls):
+        scheme = scheme_cls()
+        rows = sample_rows()
+        scheme.encrypt_rows(rows, "key")
+        fake = scheme.make_fake_row("key", rows[0])
+        assert fake.is_fake
+        assert scheme.decrypt_rows([fake]) == []
+
+    def test_leakage_profile_names_scheme(self, scheme_cls):
+        scheme = scheme_cls()
+        assert scheme.leakage.name == scheme.name
+        assert isinstance(scheme.leakage.vulnerable_attacks(), tuple)
+
+
+class TestNonDeterministicSpecifics:
+    def test_ciphertexts_are_probabilistic(self):
+        scheme = NonDeterministicScheme()
+        rows = sample_rows()
+        first = scheme.encrypt_rows(rows, "key")
+        second_scheme_pass = scheme.encrypt_rows(rows, "key")
+        assert first[0].ciphertext != second_scheme_pass[0].ciphertext
+
+    def test_no_search_tags_stored(self):
+        scheme = NonDeterministicScheme()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        assert all(row.search_tag == b"" for row in stored)
+
+    def test_owner_metadata_tracks_values(self):
+        scheme = NonDeterministicScheme()
+        scheme.encrypt_rows(sample_rows(), "key")
+        assert set(scheme.known_values("key")) == {"a", "b", "c"}
+
+    def test_forget_metadata_disables_search(self):
+        scheme = NonDeterministicScheme()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        scheme.forget_metadata("key")
+        assert scheme.tokens_for_values(["a"], "key") == []
+
+
+class TestDeterministicSpecifics:
+    def test_equal_values_share_tags(self):
+        scheme = DeterministicScheme()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        tags = [r.search_tag for r in stored]
+        assert tags[0] == tags[2] == tags[5]  # the three "a" rows
+        assert tags[0] != tags[1]
+
+    def test_frequency_histogram_visible_in_tags(self):
+        scheme = DeterministicScheme()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        from collections import Counter
+
+        histogram = sorted(Counter(r.search_tag for r in stored).values(), reverse=True)
+        assert histogram == [3, 2, 1]
+
+    def test_leakage_declares_frequency(self):
+        assert DeterministicScheme().leakage.leaks_frequency
+
+
+class TestSSESpecifics:
+    def test_ciphertext_tags_differ_for_equal_values(self):
+        scheme = SSEScheme()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        assert stored[0].search_tag != stored[2].search_tag
+
+    def test_leakage_hides_frequency_at_rest(self):
+        assert not SSEScheme().leakage.leaks_frequency
+
+
+class TestArxSpecifics:
+    def test_counter_tags_are_unique(self):
+        scheme = ArxIndexScheme()
+        stored = scheme.encrypt_rows(sample_rows(), "key")
+        assert len({r.search_tag for r in stored}) == len(stored)
+
+    def test_occurrence_counters_track_frequencies(self):
+        scheme = ArxIndexScheme()
+        scheme.encrypt_rows(sample_rows(), "key")
+        assert scheme.occurrence_count("key", "a") == 3
+        assert scheme.occurrence_count("key", "b") == 2
+        assert scheme.occurrence_count("key", "missing") == 0
+
+    def test_token_count_matches_occurrences(self):
+        scheme = ArxIndexScheme()
+        scheme.encrypt_rows(sample_rows(), "key")
+        assert len(scheme.tokens_for_values(["a"], "key")) == 3
+        assert len(scheme.tokens_for_values(["a", "b"], "key")) == 5

@@ -1,0 +1,62 @@
+"""Unit tests for CSV import/export."""
+
+import pytest
+
+from repro.data.csvio import read_csv, round_trip_equal, write_csv
+from repro.data.relation import Relation
+from repro.data.schema import Attribute, Schema
+from repro.exceptions import SchemaError
+
+
+def typed_schema():
+    return Schema(
+        [Attribute("name"), Attribute("age", dtype=int), Attribute("score", dtype=float)]
+    )
+
+
+def typed_relation():
+    relation = Relation("people", typed_schema())
+    relation.insert({"name": "ann", "age": 31, "score": 4.5})
+    relation.insert({"name": "bob", "age": 45, "score": 2.0})
+    relation.insert({"name": "eve", "age": None, "score": 3.25})
+    return relation
+
+
+class TestCsvRoundTrip:
+    def test_round_trip_with_schema(self, tmp_path):
+        path = tmp_path / "people.csv"
+        original = typed_relation()
+        write_csv(original, path)
+        loaded = read_csv(path, schema=typed_schema())
+        assert round_trip_equal(original, loaded)
+
+    def test_round_trip_preserves_rids(self, tmp_path):
+        path = tmp_path / "people.csv"
+        original = typed_relation()
+        write_csv(original, path, include_rid=True)
+        loaded = read_csv(path, schema=typed_schema())
+        assert loaded.rids == original.rids
+
+    def test_read_without_schema_infers_strings(self, tmp_path):
+        path = tmp_path / "people.csv"
+        write_csv(typed_relation(), path)
+        loaded = read_csv(path)
+        assert loaded.schema.names == ("name", "age", "score")
+        assert isinstance(loaded.rows[0]["age"], str)
+
+    def test_numeric_coercion(self, tmp_path):
+        path = tmp_path / "people.csv"
+        write_csv(typed_relation(), path)
+        loaded = read_csv(path, schema=typed_schema())
+        ages = sorted(r["age"] for r in loaded if r["age"] is not None)
+        assert ages == [31, 45]
+
+    def test_empty_file_raises(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(path)
+
+    def test_round_trip_equal_detects_schema_mismatch(self):
+        other = Relation("other", Schema([Attribute("x")]))
+        assert not round_trip_equal(typed_relation(), other)

@@ -1,0 +1,96 @@
+"""Unit tests for approximately-square factorisation."""
+
+import math
+
+import pytest
+
+from repro.core.factors import (
+    approx_square_factors,
+    factor_candidates,
+    nearest_square,
+    square_side,
+)
+from repro.exceptions import BinningError
+
+
+class TestApproxSquareFactors:
+    @pytest.mark.parametrize(
+        "n, expected",
+        [
+            (1, (1, 1)),
+            (4, (2, 2)),
+            (10, (5, 2)),
+            (16, (4, 4)),
+            (12, (4, 3)),
+            (15, (5, 3)),
+            (82, (41, 2)),
+            (100, (10, 10)),
+            (97, (97, 1)),  # prime
+        ],
+    )
+    def test_known_factorisations(self, n, expected):
+        assert approx_square_factors(n) == expected
+
+    def test_product_and_ordering_invariants(self):
+        for n in range(1, 500):
+            x, y = approx_square_factors(n)
+            assert x * y == n
+            assert x >= y >= 1
+
+    def test_factors_are_closest_pair(self):
+        for n in range(1, 200):
+            x, y = approx_square_factors(n)
+            best_gap = min(
+                n // d - d for d in range(1, int(math.isqrt(n)) + 1) if n % d == 0
+            )
+            assert x - y == best_gap
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(BinningError):
+            approx_square_factors(0)
+        with pytest.raises(BinningError):
+            approx_square_factors(-5)
+
+
+class TestNearestSquare:
+    @pytest.mark.parametrize(
+        "n, expected", [(1, 1), (2, 1), (3, 4), (82, 81), (80, 81), (99, 100), (100, 100)]
+    )
+    def test_known_values(self, n, expected):
+        assert nearest_square(n) == expected
+
+    def test_square_side_positive(self):
+        for n in range(1, 200):
+            assert square_side(n) >= 1
+            assert square_side(n) ** 2 == nearest_square(n)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(BinningError):
+            nearest_square(0)
+
+
+class TestFactorCandidates:
+    def test_candidates_are_feasible(self):
+        for ns in range(1, 150, 7):
+            for s in (0, ns // 2, ns):
+                for sensitive_bins, non_sensitive_bins in factor_candidates(ns, s):
+                    sensitive_width = math.ceil(s / sensitive_bins) if s else 0
+                    non_sensitive_width = math.ceil(ns / non_sensitive_bins)
+                    assert sensitive_width <= non_sensitive_bins
+                    assert non_sensitive_width <= sensitive_bins
+
+    def test_prime_counts_get_square_candidate(self):
+        candidates = factor_candidates(41, 20)
+        assert any(abs(x - y) <= 1 for x, y in candidates)
+
+    def test_paper_example_82(self):
+        # 82 = 41 x 2 factorisation is poor; the square candidate (9-ish bins)
+        # must be offered so the planner can pick it.
+        candidates = factor_candidates(82, 41)
+        assert any(x <= 10 and y <= 11 for x, y in candidates)
+
+    def test_zero_non_sensitive_rejected(self):
+        with pytest.raises(BinningError):
+            factor_candidates(0, 5)
+        with pytest.raises(BinningError):
+            factor_candidates(10, -1)

@@ -1,0 +1,174 @@
+"""Cross-module integration tests: end-to-end flows over multiple schemes,
+larger synthetic datasets, the TPC-H workload, and the multi-cloud path."""
+
+import random
+
+import pytest
+
+from repro.adversary.attacks import run_all_attacks
+from repro.adversary.auditor import PartitionedSecurityAuditor
+from repro.baselines.full_encryption import FullEncryptionBaseline
+from repro.cloud.server import CloudServer
+from repro.core.engine import QueryBinningEngine
+from repro.crypto.arx_index import ArxIndexScheme
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.crypto.secret_sharing import SecretSharingScheme
+from repro.data.partition import partition_by_fraction
+from repro.model.parameters import CostParameters
+from repro.workloads.generator import generate_partitioned_dataset
+from repro.workloads.queries import exhaustive_workload, skewed_workload
+from repro.workloads.tpch import generate_lineitem
+
+
+def build_engine(partition, attribute, scheme=None, seed=1):
+    return QueryBinningEngine(
+        partition=partition,
+        attribute=attribute,
+        scheme=scheme or NonDeterministicScheme(),
+        cloud=CloudServer(),
+        rng=random.Random(seed),
+    ).setup()
+
+
+class TestLargerSyntheticDataset:
+    def test_correctness_at_scale(self):
+        dataset = generate_partitioned_dataset(
+            num_values=400,
+            sensitivity_fraction=0.3,
+            association_fraction=0.5,
+            tuples_per_value=3,
+            seed=77,
+        )
+        engine = build_engine(dataset.partition, dataset.attribute, seed=2)
+        rng = random.Random(0)
+        for value in rng.sample(dataset.all_values, 40):
+            expected = {
+                r.rid for r in dataset.relation if r[dataset.attribute] == value
+            }
+            assert {r.rid for r in engine.query(value)} == expected
+
+    def test_bin_width_near_square_root(self):
+        dataset = generate_partitioned_dataset(
+            num_values=400, sensitivity_fraction=0.3, association_fraction=0.5, seed=77
+        )
+        engine = build_engine(dataset.partition, dataset.attribute, seed=2)
+        ns_values = engine.metadata.num_non_sensitive_values
+        assert engine.layout.max_non_sensitive_bin_size <= int(ns_values**0.5) + 2
+
+    def test_full_attack_battery_fails_against_qb(self):
+        dataset = generate_partitioned_dataset(
+            num_values=100,
+            sensitivity_fraction=0.4,
+            association_fraction=0.5,
+            tuples_per_value=4,
+            skew_exponent=1.0,
+            seed=13,
+        )
+        engine = build_engine(dataset.partition, dataset.attribute, seed=3)
+        engine.execute_workload(exhaustive_workload(dataset.all_values))
+        engine.execute_workload(skewed_workload(dataset.all_values, 100, seed=4))
+        outcomes = run_all_attacks(
+            engine.cloud.view_log,
+            engine.cloud.stored_encrypted_rows,
+            num_non_sensitive_values=len(dataset.non_sensitive_counts),
+            true_counts=dataset.sensitive_counts,
+        )
+        assert all(not outcome.succeeded for outcome in outcomes), [
+            (o.name, o.details) for o in outcomes if o.succeeded
+        ]
+
+    def test_audit_passes_over_full_domain(self):
+        dataset = generate_partitioned_dataset(
+            num_values=64,
+            sensitivity_fraction=0.5,
+            association_fraction=0.4,
+            tuples_per_value=2,
+            skew_exponent=0.8,
+            seed=29,
+        )
+        engine = build_engine(dataset.partition, dataset.attribute, seed=7)
+        engine.execute_workload(exhaustive_workload(dataset.all_values))
+        auditor = PartitionedSecurityAuditor(
+            num_non_sensitive_values=engine.metadata.num_non_sensitive_values,
+            layout=engine.layout,
+            sensitive_counts=engine.metadata.sensitive_counts,
+        )
+        report = auditor.audit(engine.cloud.view_log, full_domain_queried=True)
+        assert report.secure, report.violations
+
+
+class TestTpchWorkload:
+    def test_qb_over_lineitem_partkey(self):
+        lineitem = generate_lineitem(num_rows=3000, seed=11)
+        partition = partition_by_fraction(lineitem, "L_PARTKEY", 0.2)
+        engine = build_engine(partition, "L_PARTKEY", seed=5)
+        rng = random.Random(1)
+        values = lineitem.distinct_values("L_PARTKEY")
+        for value in rng.sample(values, 15):
+            expected = {r.rid for r in lineitem if r["L_PARTKEY"] == value}
+            assert {r.rid for r in engine.query(value)} == expected
+
+    def test_alpha_matches_partition(self):
+        lineitem = generate_lineitem(num_rows=2000, seed=11)
+        partition = partition_by_fraction(lineitem, "L_SUPPKEY", 0.4)
+        engine = build_engine(partition, "L_SUPPKEY", seed=5)
+        assert engine.metadata.alpha == pytest.approx(
+            partition.sensitivity_fraction, abs=0.1
+        )
+
+
+class TestAlternativeSchemes:
+    def test_secret_sharing_scheme_end_to_end(self):
+        dataset = generate_partitioned_dataset(
+            num_values=16, sensitivity_fraction=0.5, association_fraction=0.5, seed=19
+        )
+        engine = build_engine(
+            dataset.partition, dataset.attribute, scheme=SecretSharingScheme(), seed=4
+        )
+        for value in dataset.all_values[:6]:
+            expected = {
+                r.rid for r in dataset.relation if r[dataset.attribute] == value
+            }
+            assert {r.rid for r in engine.query(value)} == expected
+
+    def test_arx_scheme_with_skewed_counts(self):
+        dataset = generate_partitioned_dataset(
+            num_values=25,
+            sensitivity_fraction=0.4,
+            association_fraction=0.5,
+            tuples_per_value=3,
+            skew_exponent=1.0,
+            seed=23,
+        )
+        engine = build_engine(
+            dataset.partition, dataset.attribute, scheme=ArxIndexScheme(), seed=6
+        )
+        for value in dataset.all_values[:8]:
+            expected = {
+                r.rid for r in dataset.relation if r[dataset.attribute] == value
+            }
+            assert {r.rid for r in engine.query(value)} == expected
+
+
+class TestQbVersusFullEncryptionCost:
+    def test_modelled_eta_below_one_for_strong_crypto(self):
+        dataset = generate_partitioned_dataset(
+            num_values=100, sensitivity_fraction=0.3, association_fraction=0.5,
+            tuples_per_value=2, seed=31,
+        )
+        engine = build_engine(dataset.partition, dataset.attribute, seed=9)
+        params = CostParameters.from_ratios(gamma=25_000, selectivity=0.05)
+        baseline = FullEncryptionBaseline(
+            dataset.relation, dataset.attribute, NonDeterministicScheme(),
+            cost_parameters=params,
+        )
+        from repro.model.cost import eta_simplified
+
+        eta = eta_simplified(
+            engine.metadata.alpha,
+            engine.layout.max_sensitive_bin_size,
+            engine.layout.max_non_sensitive_bin_size,
+            params,
+        )
+        assert eta < 1.0
+        assert baseline.modelled_query_seconds() > 0

@@ -1,0 +1,100 @@
+"""Unit tests for owner metadata and the binning planner."""
+
+import pytest
+
+from repro.core.metadata import OwnerMetadata
+from repro.core.planner import estimate_query_cost, plan_binning
+from repro.exceptions import BinningError
+
+
+def base_metadata():
+    return OwnerMetadata.from_counts(
+        "EId",
+        sensitive_counts={"a": 1, "b": 1, "c": 1},
+        non_sensitive_counts={"a": 1, "d": 1, "e": 1, "f": 1},
+    )
+
+
+def skewed_metadata():
+    return OwnerMetadata.from_counts(
+        "key",
+        sensitive_counts={f"s{i}": 10 * (i + 1) for i in range(9)},
+        non_sensitive_counts={f"n{i}": 3 for i in range(16)},
+    )
+
+
+class TestOwnerMetadata:
+    def test_value_counts_and_alpha(self):
+        metadata = base_metadata()
+        assert metadata.num_sensitive_values == 3
+        assert metadata.num_non_sensitive_values == 4
+        assert metadata.sensitive_tuples == 3
+        assert metadata.alpha == pytest.approx(3 / 7)
+
+    def test_associated_values(self):
+        assert base_metadata().associated_values == ("a",)
+
+    def test_is_base_case_detection(self):
+        assert base_metadata().is_base_case
+        assert not skewed_metadata().is_base_case
+
+    def test_value_exists_and_expected_result_size(self):
+        metadata = base_metadata()
+        assert metadata.value_exists("a") and not metadata.value_exists("zzz")
+        assert metadata.expected_result_size("a") == 2
+        assert metadata.expected_result_size("d") == 1
+        assert metadata.expected_result_size("zzz") == 0
+
+    def test_estimated_size_grows_with_values(self):
+        small = base_metadata().estimated_size_bytes()
+        assert skewed_metadata().estimated_size_bytes() > small
+
+    def test_alpha_of_empty_metadata_is_zero(self):
+        empty = OwnerMetadata(attribute="A")
+        assert empty.alpha == 0.0
+
+
+class TestPlanner:
+    def test_base_strategy_selected_for_unit_counts(self):
+        plan = plan_binning(base_metadata())
+        assert plan.strategy == "base"
+
+    def test_general_strategy_selected_for_multi_tuple_counts(self):
+        plan = plan_binning(skewed_metadata())
+        assert plan.strategy == "general"
+
+    def test_force_strategy_and_layout(self):
+        plan = plan_binning(base_metadata(), force_strategy="general", force_layout=(2, 3))
+        assert plan.strategy == "general"
+        assert plan.num_sensitive_bins == 2
+        assert plan.num_non_sensitive_bins == 3
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(BinningError):
+            plan_binning(base_metadata(), force_strategy="magic")
+
+    def test_empty_metadata_rejected(self):
+        with pytest.raises(BinningError):
+            plan_binning(OwnerMetadata(attribute="A"))
+
+    def test_planner_picks_cheapest_candidate(self):
+        # 82 non-sensitive values: the 41x2 layout is far worse than ~9x10.
+        metadata = OwnerMetadata.from_counts(
+            "k",
+            sensitive_counts={f"s{i}": 1 for i in range(41)},
+            non_sensitive_counts={f"n{i}": 1 for i in range(82)},
+        )
+        plan = plan_binning(metadata)
+        assert plan.expected_values_per_query < 1 + 41
+
+    def test_expected_values_per_query(self):
+        plan = plan_binning(base_metadata())
+        assert plan.expected_values_per_query == (
+            plan.expected_sensitive_width + plan.expected_non_sensitive_width
+        )
+
+    def test_estimate_query_cost_uniformity(self):
+        widths = estimate_query_cost(base_metadata(), 2, 2)
+        assert widths[0] == 2  # ceil(3/2)
+        assert widths[1] == 2  # ceil(4/2)
+        assert widths[2] == pytest.approx(2 * 1.0 + 2 * 1.0)

@@ -1,0 +1,155 @@
+"""Tests for the access-pattern-hiding substrates: Path ORAM and two-server PIR."""
+
+import secrets
+
+import pytest
+
+from repro.crypto.oram import DUMMY_BLOCK_ID, ObliviousRowStore, PathORAM, PathORAMServer
+from repro.crypto.pir import TwoServerPIR
+from repro.crypto.primitives import SecretKey
+from repro.exceptions import CryptoError
+
+
+class TestPathORAM:
+    def test_read_after_write(self):
+        oram = PathORAM(capacity=16, key=SecretKey.from_passphrase("oram"))
+        oram.write(3, b"hello")
+        oram.write(7, b"world")
+        assert oram.read(3) == b"hello"
+        assert oram.read(7) == b"world"
+
+    def test_unwritten_block_reads_none(self):
+        oram = PathORAM(capacity=8)
+        assert oram.read(5) is None
+
+    def test_overwrite_updates_value(self):
+        oram = PathORAM(capacity=8)
+        oram.write(2, b"v1")
+        oram.write(2, b"v2")
+        assert oram.read(2) == b"v2"
+
+    def test_many_blocks_survive_interleaved_accesses(self):
+        oram = PathORAM(capacity=64)
+        expected = {}
+        for block_id in range(40):
+            payload = f"payload-{block_id}".encode()
+            oram.write(block_id, payload)
+            expected[block_id] = payload
+        # interleave reads and rewrites
+        for block_id in range(0, 40, 3):
+            expected[block_id] = f"updated-{block_id}".encode()
+            oram.write(block_id, expected[block_id])
+        for block_id, payload in expected.items():
+            assert oram.read(block_id) == payload
+
+    def test_each_access_touches_exactly_one_path(self):
+        oram = PathORAM(capacity=32)
+        reads_before = oram.server.bucket_reads
+        oram.write(1, b"x")
+        assert oram.server.bucket_reads - reads_before == oram.path_length
+
+    def test_server_never_sees_plaintext(self):
+        oram = PathORAM(capacity=8)
+        secret = b"super-secret-row-payload"
+        oram.write(0, secret)
+        stored = b"".join(
+            ciphertext
+            for index in range(len(oram.server))
+            for ciphertext in oram.server.read_bucket(index)
+        )
+        assert secret not in stored
+
+    def test_out_of_range_block_rejected(self):
+        oram = PathORAM(capacity=4)
+        with pytest.raises(CryptoError):
+            oram.read(4)
+        with pytest.raises(CryptoError):
+            oram.write(-1, b"x")
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(CryptoError):
+            PathORAM(capacity=0)
+        with pytest.raises(CryptoError):
+            PathORAM(capacity=4, bucket_size=0)
+        with pytest.raises(CryptoError):
+            PathORAM(capacity=64, server=PathORAMServer(num_buckets=3))
+
+    def test_stash_stays_bounded(self):
+        oram = PathORAM(capacity=32)
+        for round_ in range(3):
+            for block_id in range(32):
+                oram.write(block_id, f"{round_}-{block_id}".encode())
+        # A healthy Path ORAM keeps its stash tiny relative to capacity.
+        assert oram.stats.stash_peak <= 32
+        assert oram.stash_size <= oram.stats.stash_peak
+
+
+class TestObliviousRowStore:
+    def test_store_and_fetch_rows(self):
+        store = ObliviousRowStore(capacity=16)
+        store.store_row(101, b"row-101")
+        store.store_row(202, b"row-202")
+        assert store.fetch_row(101) == b"row-101"
+        assert store.fetch_row(202) == b"row-202"
+
+    def test_miss_performs_dummy_access(self):
+        store = ObliviousRowStore(capacity=8)
+        store.store_row(1, b"x")
+        before = store.accesses
+        assert store.fetch_row(999) is None
+        assert store.accesses == before + 1  # miss still touches the ORAM
+
+    def test_capacity_enforced(self):
+        store = ObliviousRowStore(capacity=2)
+        store.store_row(1, b"a")
+        store.store_row(2, b"b")
+        with pytest.raises(CryptoError):
+            store.store_row(3, b"c")
+
+
+class TestTwoServerPIR:
+    def _records(self, count=20):
+        return [f"record-{index:03d}".encode() for index in range(count)]
+
+    def test_every_record_retrievable(self):
+        pir = TwoServerPIR(self._records(20))
+        for index in range(20):
+            assert pir.retrieve(index).rstrip(b"\x00") == f"record-{index:03d}".encode()
+
+    def test_variable_length_records_padded(self):
+        records = [b"a", b"bb", b"ccc", b"dddd"]
+        pir = TwoServerPIR(records)
+        assert pir.retrieve(2).rstrip(b"\x00") == b"ccc"
+
+    def test_large_records_use_multiple_chunks(self):
+        records = [secrets.token_bytes(40) for _ in range(8)]
+        pir = TwoServerPIR(records, record_size=40)
+        assert pir.retrieve(5) == records[5]
+
+    def test_single_server_view_is_share_only(self):
+        """Each server answers from a DPF share; its response alone is not the
+        record (information-theoretic hiding of the queried index)."""
+        records = self._records(8)
+        pir = TwoServerPIR(records)
+        dpf_keys = pir._dpf.generate(alpha=3, beta=1)
+        response0 = pir.servers[0].answer(dpf_keys[0])
+        assert response0[0].to_bytes(8, "big").rstrip(b"\x00") != records[3]
+
+    def test_out_of_range_index_rejected(self):
+        pir = TwoServerPIR(self._records(4))
+        with pytest.raises(CryptoError):
+            pir.retrieve(4)
+
+    def test_empty_database_rejected(self):
+        with pytest.raises(CryptoError):
+            TwoServerPIR([])
+
+    def test_retrieve_many(self):
+        pir = TwoServerPIR(self._records(10))
+        results = pir.retrieve_many([0, 9, 5])
+        assert [r.rstrip(b"\x00") for r in results] == [
+            b"record-000",
+            b"record-009",
+            b"record-005",
+        ]
+        assert pir.queries_issued == 3

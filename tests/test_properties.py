@@ -1,0 +1,236 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+These cover the invariants the paper's correctness and security arguments
+rest on:
+
+* approximately-square factorisation invariants;
+* bin creation places every value exactly once and keeps the transposed
+  association placement;
+* Algorithm 2 retrieval always returns bins that contain the queried value;
+* answering queries for every domain value associates every sensitive bin
+  with every non-sensitive bin (surviving-match completeness);
+* general-case padding makes every sensitive bin's tuple count identical;
+* encryption round-trips and the keyed permutation being a permutation;
+* the analytical model's monotonicity in α and γ.
+"""
+
+import math
+import random
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.surviving_matches import SurvivingMatchAnalysis
+from repro.core.binning import create_bins
+from repro.core.factors import approx_square_factors, factor_candidates, nearest_square
+from repro.core.general_binning import create_general_bins
+from repro.core.retrieval import BinRetriever
+from repro.crypto.primitives import (
+    SecretKey,
+    aead_decrypt,
+    aead_encrypt,
+    keyed_permutation,
+)
+from repro.model.cost import eta_simplified
+from repro.model.parameters import CostParameters
+
+SETTINGS = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+
+# ---------------------------------------------------------------------------
+# factorisation
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(n=st.integers(min_value=1, max_value=20_000))
+def test_approx_square_factors_invariants(n):
+    x, y = approx_square_factors(n)
+    assert x * y == n
+    assert x >= y >= 1
+    assert y <= math.isqrt(n) <= x
+
+
+@SETTINGS
+@given(n=st.integers(min_value=1, max_value=20_000))
+def test_nearest_square_is_nearest(n):
+    square = nearest_square(n)
+    root = math.isqrt(square)
+    assert root * root == square
+    below = math.isqrt(n) ** 2
+    above = (math.isqrt(n) + 1) ** 2
+    assert abs(square - n) == min(abs(below - n), abs(above - n))
+
+
+@SETTINGS
+@given(
+    num_non_sensitive=st.integers(min_value=1, max_value=2_000),
+    num_sensitive=st.integers(min_value=0, max_value=2_000),
+)
+def test_factor_candidates_always_feasible(num_non_sensitive, num_sensitive):
+    num_sensitive = min(num_sensitive, num_non_sensitive)
+    for sensitive_bins, non_sensitive_bins in factor_candidates(
+        num_non_sensitive, num_sensitive
+    ):
+        sensitive_width = math.ceil(num_sensitive / sensitive_bins) if num_sensitive else 0
+        non_sensitive_width = math.ceil(num_non_sensitive / non_sensitive_bins)
+        assert sensitive_width <= non_sensitive_bins
+        assert non_sensitive_width <= sensitive_bins
+
+
+# ---------------------------------------------------------------------------
+# bin creation / retrieval
+# ---------------------------------------------------------------------------
+
+@st.composite
+def binning_instance(draw):
+    """Random |S|, |NS| and association fraction for base-case binning."""
+    num_sensitive = draw(st.integers(min_value=0, max_value=60))
+    num_non_sensitive = draw(st.integers(min_value=max(1, num_sensitive), max_value=90))
+    num_associated = draw(st.integers(min_value=0, max_value=num_sensitive))
+    seed = draw(st.integers(min_value=0, max_value=2**16))
+    sensitive = [f"s{i}" for i in range(num_sensitive)]
+    associated = sensitive[:num_associated]
+    non_sensitive = associated + [
+        f"n{i}" for i in range(num_non_sensitive - num_associated)
+    ]
+    return sensitive, non_sensitive, seed
+
+
+@SETTINGS
+@given(instance=binning_instance())
+def test_create_bins_places_every_value_once(instance):
+    sensitive, non_sensitive, seed = instance
+    layout = create_bins(sensitive, non_sensitive, rng=random.Random(seed))
+    assert sorted(layout.sensitive_values) == sorted(set(sensitive))
+    assert sorted(layout.non_sensitive_values) == sorted(set(non_sensitive))
+    layout.validate()
+
+
+@SETTINGS
+@given(instance=binning_instance())
+def test_retrieval_bins_always_contain_the_query_value(instance):
+    sensitive, non_sensitive, seed = instance
+    layout = create_bins(sensitive, non_sensitive, rng=random.Random(seed))
+    retriever = BinRetriever(layout)
+    for value in set(sensitive) | set(non_sensitive):
+        decision = retriever.retrieve(value)
+        assert decision.retrieves_anything
+        in_sensitive = value in decision.sensitive_values
+        in_non_sensitive = value in decision.non_sensitive_values
+        assert in_sensitive or in_non_sensitive
+        # and whenever the value exists on a side, that side's bin holds it
+        if value in set(sensitive):
+            assert in_sensitive
+        if value in set(non_sensitive):
+            assert in_non_sensitive
+
+
+@SETTINGS
+@given(instance=binning_instance())
+def test_full_domain_queries_preserve_all_surviving_matches(instance):
+    sensitive, non_sensitive, seed = instance
+    if not sensitive or not non_sensitive:
+        return
+    layout = create_bins(sensitive, non_sensitive, rng=random.Random(seed))
+    analysis = SurvivingMatchAnalysis.from_layout(layout)
+    # Pairs can only be missed if one of the two bins holds no values at all.
+    for i, j in analysis.dropped_pairs():
+        assert (
+            layout.sensitive_bin(i).size == 0 or layout.non_sensitive_bin(j).size == 0
+        )
+
+
+@SETTINGS
+@given(
+    counts=st.dictionaries(
+        keys=st.integers(min_value=0, max_value=200),
+        values=st.integers(min_value=1, max_value=50),
+        min_size=1,
+        max_size=40,
+    ),
+    num_non_sensitive=st.integers(min_value=1, max_value=60),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_general_binning_pads_to_equal_tuple_counts(counts, num_non_sensitive, seed):
+    sensitive_counts = {f"s{k}": v for k, v in counts.items()}
+    non_sensitive_counts = {f"n{i}": 1 for i in range(num_non_sensitive)}
+    result = create_general_bins(
+        sensitive_counts, non_sensitive_counts, rng=random.Random(seed)
+    )
+    padded = {
+        index: result.tuples_per_bin[index] + result.fake_tuples[index]
+        for index in result.tuples_per_bin
+    }
+    non_empty = {
+        index: total
+        for index, total in padded.items()
+        if result.layout.sensitive_bin(index).size > 0 or result.tuples_per_bin[index] > 0
+    }
+    if non_empty:
+        assert len(set(non_empty.values())) == 1
+    assert all(fake >= 0 for fake in result.fake_tuples.values())
+    result.layout.validate()
+
+
+# ---------------------------------------------------------------------------
+# crypto primitives
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(payload=st.binary(min_size=0, max_size=512), passphrase=st.text(min_size=1, max_size=16))
+def test_aead_round_trip(payload, passphrase):
+    key = SecretKey.from_passphrase(passphrase)
+    assert aead_decrypt(key, aead_encrypt(key, payload)) == payload
+
+
+@SETTINGS
+@given(
+    items=st.lists(st.integers(), min_size=0, max_size=200, unique=True),
+    passphrase=st.text(min_size=1, max_size=16),
+)
+def test_keyed_permutation_is_a_permutation(items, passphrase):
+    permuted = keyed_permutation(items, SecretKey.from_passphrase(passphrase))
+    assert sorted(permuted) == sorted(items)
+
+
+# ---------------------------------------------------------------------------
+# analytical model
+# ---------------------------------------------------------------------------
+
+@SETTINGS
+@given(
+    alpha_pair=st.tuples(
+        st.floats(min_value=0.0, max_value=1.0), st.floats(min_value=0.0, max_value=1.0)
+    ),
+    gamma=st.floats(min_value=1.0, max_value=1e6),
+    width=st.integers(min_value=1, max_value=10_000),
+    rho=st.floats(min_value=0.001, max_value=1.0),
+)
+def test_eta_monotone_in_alpha(alpha_pair, gamma, width, rho):
+    low, high = sorted(alpha_pair)
+    params = CostParameters.from_ratios(gamma=gamma, selectivity=rho)
+    assert eta_simplified(low, width, width, params) <= eta_simplified(
+        high, width, width, params
+    ) + 1e-12
+
+
+@SETTINGS
+@given(
+    gamma_pair=st.tuples(
+        st.floats(min_value=1.0, max_value=1e6), st.floats(min_value=1.0, max_value=1e6)
+    ),
+    alpha=st.floats(min_value=0.0, max_value=1.0),
+    width=st.integers(min_value=1, max_value=10_000),
+    rho=st.floats(min_value=0.001, max_value=1.0),
+)
+def test_eta_monotone_decreasing_in_gamma(gamma_pair, alpha, width, rho):
+    low, high = sorted(gamma_pair)
+    eta_low_gamma = eta_simplified(
+        alpha, width, width, CostParameters.from_ratios(gamma=low, selectivity=rho)
+    )
+    eta_high_gamma = eta_simplified(
+        alpha, width, width, CostParameters.from_ratios(gamma=high, selectivity=rho)
+    )
+    assert eta_high_gamma <= eta_low_gamma + 1e-12

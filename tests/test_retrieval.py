@@ -1,0 +1,119 @@
+"""Unit tests for Algorithm 2 (bin retrieval, rules R1/R2)."""
+
+import random
+
+import pytest
+
+from repro.core.binning import create_bins
+from repro.core.bins import Bin, BinLayout
+from repro.core.retrieval import BinRetriever
+from repro.query.selection import SelectionQuery
+
+
+def figure3_layout():
+    """The exact layout of the paper's Figure 3 (no permutation shown)."""
+    sensitive = [
+        Bin(0, ["s5", "s10"]),
+        Bin(1, ["s1", "s6"]),
+        Bin(2, ["s2", "s7"]),
+        Bin(3, ["s3", "s8"]),
+        Bin(4, ["s4", "s9"]),
+    ]
+    non_sensitive = [
+        Bin(0, ["s5", "s1", "s2", "s3", "ns11"]),
+        Bin(1, ["ns12", "s6", "ns13", "ns14", "ns15"]),
+    ]
+    return BinLayout(sensitive, non_sensitive, attribute="A")
+
+
+class TestFigure3Retrieval:
+    def test_query_for_s2_fetches_sb2_and_nsb0(self):
+        retriever = BinRetriever(figure3_layout())
+        decision = retriever.retrieve("s2")
+        assert decision.rule == "R1"
+        assert decision.sensitive_bin_index == 2
+        assert decision.non_sensitive_bin_index == 0
+
+    def test_query_for_s7_fetches_sb2_and_nsb1(self):
+        decision = BinRetriever(figure3_layout()).retrieve("s7")
+        assert (decision.sensitive_bin_index, decision.non_sensitive_bin_index) == (2, 1)
+
+    def test_query_for_ns13_fetches_nsb1_and_sb2(self):
+        decision = BinRetriever(figure3_layout()).retrieve("ns13")
+        assert decision.rule == "R2"
+        assert (decision.sensitive_bin_index, decision.non_sensitive_bin_index) == (2, 1)
+
+    def test_adversarial_view_table4(self):
+        """Queries for s2, s7, and ns13 all return SB2's encrypted values and
+        the appropriate non-sensitive bin — Table IV."""
+        retriever = BinRetriever(figure3_layout())
+        for value in ("s2", "s7", "ns13"):
+            decision = retriever.retrieve(value)
+            assert set(decision.sensitive_values) == {"s2", "s7"}
+
+    def test_unknown_value_retrieves_nothing(self):
+        decision = BinRetriever(figure3_layout()).retrieve("does-not-exist")
+        assert decision.rule == "none"
+        assert not decision.retrieves_anything
+
+    def test_rule_consistency_for_associated_values(self):
+        """When a value is both sensitive and non-sensitive, R1 and R2 pick
+        exactly the same pair of bins."""
+        layout = figure3_layout()
+        retriever = BinRetriever(layout)
+        for value in ("s1", "s2", "s3", "s5", "s6"):
+            decision = retriever.retrieve(value)
+            s_bin, s_pos = layout.locate_sensitive(value)
+            ns_bin, ns_pos = layout.locate_non_sensitive(value)
+            assert decision.sensitive_bin_index == s_bin == ns_pos
+            assert decision.non_sensitive_bin_index == ns_bin == s_pos
+
+
+class TestAllBinPairsCovered:
+    def test_every_sensitive_bin_meets_every_non_sensitive_bin(self):
+        """Answering queries for every value associates each sensitive bin
+        with each non-sensitive bin (the Figure 4a completeness property)."""
+        retriever = BinRetriever(figure3_layout())
+        pairs = set(retriever.associated_bin_pairs())
+        assert pairs == {(i, j) for i in range(5) for j in range(2)}
+
+    def test_completeness_holds_for_generated_layouts(self):
+        rng = random.Random(3)
+        for num_sensitive, num_non_sensitive in [(10, 10), (7, 20), (12, 30), (5, 25)]:
+            sensitive = [f"s{i}" for i in range(num_sensitive)]
+            associated = sensitive[: num_sensitive // 2]
+            non_sensitive = associated + [f"n{i}" for i in range(num_non_sensitive - len(associated))]
+            layout = create_bins(sensitive, non_sensitive, rng=rng)
+            retriever = BinRetriever(layout)
+            pairs = set(retriever.associated_bin_pairs())
+            expected = {
+                (i, j)
+                for i in range(layout.num_sensitive_bins)
+                for j in range(layout.num_non_sensitive_bins)
+            }
+            missing = expected - pairs
+            # Every pair reachable by some query value must be covered; pairs
+            # can only be missing if no value points at them (tiny layouts).
+            assert not missing or all(
+                layout.sensitive_bin(i).size == 0 or layout.non_sensitive_bin(j).size == 0
+                for i, j in missing
+            )
+
+
+class TestRewrite:
+    def test_rewrite_produces_binned_query(self):
+        retriever = BinRetriever(figure3_layout())
+        binned = retriever.rewrite(SelectionQuery("A", "s2"))
+        assert binned.covers_query_value()
+        assert set(binned.sensitive_values) == {"s2", "s7"}
+        assert set(binned.non_sensitive_values) == {"s5", "s1", "s2", "s3", "ns11"}
+
+    def test_rewrite_unknown_value_is_empty(self):
+        binned = BinRetriever(figure3_layout()).rewrite(SelectionQuery("A", "zzz"))
+        assert binned.total_requested_values == 0
+
+    def test_all_decisions_cover_every_value_once(self):
+        retriever = BinRetriever(figure3_layout())
+        decisions = retriever.all_decisions()
+        values = [d.query_value for d in decisions]
+        assert len(values) == len(set(values)) == 15

@@ -1,0 +1,106 @@
+"""Unit tests for repro.data.schema."""
+
+import pytest
+
+from repro.data.schema import Attribute, Schema, common_schema
+from repro.exceptions import SchemaError, UnknownAttributeError
+
+
+def make_schema():
+    return Schema(
+        [
+            Attribute("EId", dtype=str),
+            Attribute("SSN", dtype=str, sensitive=True),
+            Attribute("Age", dtype=int, searchable=False),
+        ]
+    )
+
+
+class TestAttribute:
+    def test_validate_accepts_correct_type(self):
+        Attribute("name", dtype=str).validate("alice")
+
+    def test_validate_accepts_none(self):
+        Attribute("name", dtype=str).validate(None)
+
+    def test_validate_accepts_int_for_float(self):
+        Attribute("price", dtype=float).validate(3)
+
+    def test_validate_rejects_wrong_type(self):
+        with pytest.raises(SchemaError):
+            Attribute("age", dtype=int).validate("forty")
+
+
+class TestSchema:
+    def test_names_preserved_in_order(self):
+        assert make_schema().names == ("EId", "SSN", "Age")
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([Attribute("a"), Attribute("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_contains_and_getitem(self):
+        schema = make_schema()
+        assert "SSN" in schema
+        assert schema["SSN"].sensitive is True
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            make_schema()["missing"]
+
+    def test_sensitive_and_searchable_names(self):
+        schema = make_schema()
+        assert schema.sensitive_names == ("SSN",)
+        assert schema.searchable_names == ("EId", "SSN")
+
+    def test_project_preserves_order_given(self):
+        projected = make_schema().project(["Age", "EId"])
+        assert projected.names == ("Age", "EId")
+
+    def test_drop_removes_attributes(self):
+        dropped = make_schema().drop(["SSN"])
+        assert dropped.names == ("EId", "Age")
+
+    def test_drop_unknown_raises(self):
+        with pytest.raises(UnknownAttributeError):
+            make_schema().drop(["nope"])
+
+    def test_drop_everything_raises(self):
+        with pytest.raises(SchemaError):
+            make_schema().drop(["EId", "SSN", "Age"])
+
+    def test_validate_row_accepts_exact_keys(self):
+        make_schema().validate_row({"EId": "E1", "SSN": "111", "Age": 30})
+
+    def test_validate_row_rejects_missing_and_extra(self):
+        with pytest.raises(SchemaError):
+            make_schema().validate_row({"EId": "E1"})
+        with pytest.raises(SchemaError):
+            make_schema().validate_row(
+                {"EId": "E1", "SSN": "111", "Age": 30, "Extra": 1}
+            )
+
+    def test_from_names_marks_sensitive(self):
+        schema = Schema.from_names(["a", "b"], sensitive=["b"])
+        assert schema["b"].sensitive and not schema["a"].sensitive
+
+    def test_from_names_unknown_sensitive_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.from_names(["a"], sensitive=["z"])
+
+    def test_equality_and_hash(self):
+        assert make_schema() == make_schema()
+        assert hash(make_schema()) == hash(make_schema())
+
+
+class TestCommonSchema:
+    def test_same_names_are_compatible(self):
+        assert common_schema(make_schema(), make_schema()) is not None
+
+    def test_different_names_are_incompatible(self):
+        other = Schema([Attribute("x")])
+        assert common_schema(make_schema(), other) is None

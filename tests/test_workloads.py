@@ -1,0 +1,149 @@
+"""Tests for the workload substrate (Employee example, generators, TPC-H)."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.workloads.employee import (
+    build_employee_relation,
+    employee_partition,
+    paper_example_queries,
+)
+from repro.workloads.generator import (
+    generate_partitioned_dataset,
+    uniform_counts,
+    zipf_counts,
+)
+from repro.workloads.queries import (
+    exhaustive_workload,
+    skewed_workload,
+    uniform_workload,
+    workload_histogram,
+)
+from repro.workloads.tpch import (
+    estimated_metadata_bytes,
+    generate_customer,
+    generate_lineitem,
+)
+
+
+class TestEmployeeWorkload:
+    def test_relation_matches_figure1(self):
+        relation = build_employee_relation()
+        assert len(relation) == 8
+        assert relation.schema.names == ("EId", "FirstName", "LastName", "SSN", "Office", "Dept")
+
+    def test_partition_matches_figure2(self):
+        partition = employee_partition()
+        assert len(partition.sensitive) == 4
+        assert len(partition.non_sensitive) == 4
+        assert partition.vertical is not None and len(partition.vertical) == 6
+
+    def test_example_queries(self):
+        assert paper_example_queries() == ("E259", "E101", "E199")
+
+
+class TestGenerators:
+    def test_uniform_counts(self):
+        counts = uniform_counts(5, 3)
+        assert len(counts) == 5 and set(counts.values()) == {3}
+
+    def test_zipf_counts_total_and_skew(self):
+        counts = zipf_counts(20, 1000, exponent=1.2)
+        assert sum(counts.values()) == 1000
+        assert min(counts.values()) >= 1
+        values = list(counts.values())
+        assert values[0] > values[-1]
+
+    def test_zipf_counts_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_counts(0, 10)
+        with pytest.raises(ConfigurationError):
+            zipf_counts(10, 5)
+
+    def test_generated_dataset_alpha_and_association(self):
+        dataset = generate_partitioned_dataset(
+            num_values=50, sensitivity_fraction=0.4, association_fraction=0.5, seed=1
+        )
+        assert len(dataset.sensitive_counts) == 20
+        associated = set(dataset.sensitive_counts) & set(dataset.non_sensitive_counts)
+        assert len(associated) == 10
+        assert dataset.partition.total_rows == dataset.total_tuples
+
+    def test_generated_dataset_is_deterministic_per_seed(self):
+        a = generate_partitioned_dataset(num_values=20, seed=4)
+        b = generate_partitioned_dataset(num_values=20, seed=4)
+        assert a.sensitive_counts == b.sensitive_counts
+        assert a.non_sensitive_counts == b.non_sensitive_counts
+
+    def test_generated_dataset_skewed_counts(self):
+        dataset = generate_partitioned_dataset(
+            num_values=20, tuples_per_value=10, skew_exponent=1.0, seed=2
+        )
+        counts = list(dataset.sensitive_counts.values()) + list(
+            dataset.non_sensitive_counts.values()
+        )
+        assert max(counts) > min(counts)
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_partitioned_dataset(sensitivity_fraction=2.0)
+        with pytest.raises(ConfigurationError):
+            generate_partitioned_dataset(association_fraction=-0.1)
+
+    def test_alpha_property(self):
+        dataset = generate_partitioned_dataset(
+            num_values=40, sensitivity_fraction=0.25, association_fraction=0.0, seed=3
+        )
+        assert dataset.alpha == pytest.approx(0.25, abs=0.05)
+
+
+class TestTpch:
+    def test_lineitem_shape(self):
+        relation = generate_lineitem(num_rows=1000, seed=1)
+        assert len(relation) == 1000
+        assert "L_PARTKEY" in relation.schema
+        assert all(row["L_QUANTITY"] >= 1 for row in relation.rows[:50])
+
+    def test_lineitem_domain_scales(self):
+        small = generate_lineitem(num_rows=600, seed=1)
+        # SF = 600 / 6M = 1e-4 -> 20 parts
+        assert len(small.distinct_values("L_PARTKEY")) <= 20
+
+    def test_customer_shape(self):
+        relation = generate_customer(num_rows=200)
+        assert len(relation) == 200
+        assert len(relation.distinct_values("C_CUSTKEY")) == 200
+
+    def test_invalid_row_counts_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_lineitem(0)
+        with pytest.raises(ConfigurationError):
+            generate_customer(-1)
+
+    def test_metadata_estimate_tracks_distinct_values(self):
+        relation = generate_lineitem(num_rows=2000, seed=1)
+        partkey = estimated_metadata_bytes(relation, "L_PARTKEY")
+        shipmode = estimated_metadata_bytes(relation, "L_SHIPMODE")
+        assert partkey > shipmode  # mirrors the paper's 13.6 MB vs 0.65 MB gap
+
+
+class TestQueryWorkloads:
+    def test_uniform_workload_size_and_domain(self):
+        workload = uniform_workload(["a", "b", "c"], 100, seed=1)
+        assert len(workload) == 100
+        assert set(workload) <= {"a", "b", "c"}
+
+    def test_skewed_workload_is_skewed(self):
+        values = [f"v{i}" for i in range(30)]
+        workload = skewed_workload(values, 2000, exponent=1.5, seed=2)
+        histogram = workload_histogram(workload)
+        assert histogram[values[0]] > 2000 / 30
+
+    def test_workloads_validate_inputs(self):
+        with pytest.raises(ConfigurationError):
+            uniform_workload([], 10)
+        with pytest.raises(ConfigurationError):
+            skewed_workload(["a"], -1)
+
+    def test_exhaustive_workload_deduplicates(self):
+        assert exhaustive_workload(["a", "b", "a", "c"]) == ["a", "b", "c"]
