@@ -50,7 +50,12 @@ class FullEncryptionBaseline:
         self.relation = relation
         self.attribute = attribute
         self.scheme = scheme
-        self.cloud = cloud or CloudServer()
+        # This baseline models the paper's "No-Ind" systems: every encrypted
+        # selection touches every row.  Disable the cloud's encrypted indexes
+        # (also on caller-supplied clouds) so measured behaviour matches the
+        # modelled full-scan cost and the tuples_scanned accounting below.
+        self.cloud = cloud or CloudServer(use_encrypted_indexes=False)
+        self.cloud.use_encrypted_indexes = False
         self.params = cost_parameters or CostParameters.paper_defaults()
         self._outsourced = False
 

@@ -1,25 +1,43 @@
-"""Cloud-side indexes over cleartext relations.
+"""Cloud-side indexes over the outsourced relations.
 
 The non-sensitive relation is stored in plaintext, so the cloud can maintain
-ordinary database indexes on it.  Two flavours are provided:
+ordinary database indexes on it:
 
 * :class:`HashIndex` — exact-match lookups (the common case for QB's
   ``IN``-expanded selection queries);
 * :class:`SortedIndex` — a sorted-array index supporting equality and range
   probes, standing in for a B+-tree.
 
-Both indexes count the probes they serve so the experiment harness can report
-index work alongside wall-clock time.
+The *encrypted* relation gets the same treatment when its scheme opts in
+(:attr:`~repro.crypto.base.EncryptedSearchScheme.supports_tag_index`):
+
+* :class:`EncryptedTagIndex` — exact-match index from a scheme-stable search
+  key (deterministic tag, Arx ``(value, i)`` tag, blinded tuple address) to
+  the stored ciphertexts, so bin retrievals cost index probes instead of a
+  scan of the whole relation.  The index holds only (key, rid, ciphertext)
+  triples the honest-but-curious adversary already stores, so building it
+  changes nothing in the adversarial view.
+
+All indexes count the probes (and, for the encrypted index, the rows
+examined) so the experiment harness can report index work alongside
+wall-clock time.
 """
 
 from __future__ import annotations
 
 from bisect import bisect_left, bisect_right
 from collections import defaultdict
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.data.relation import Relation, Row
 from repro.exceptions import UnknownAttributeError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.crypto.base import EncryptedRow, EncryptedSearchScheme
+
+#: Shared sentinel for missing buckets: callers treat lookup results as
+#: read-only, so all misses may alias one list without risk.
+_NO_ROWS: List[Row] = []
 
 
 class HashIndex:
@@ -35,15 +53,23 @@ class HashIndex:
         self.probe_count = 0
 
     def lookup(self, value: object) -> List[Row]:
-        """Rows whose indexed attribute equals ``value``."""
+        """Rows whose indexed attribute equals ``value``.
+
+        Returns the live bucket (no defensive copy — probes are on the hot
+        path of every query); callers must treat the result as read-only.
+        """
         self.probe_count += 1
-        return list(self._buckets.get(value, ()))
+        return self._buckets.get(value, _NO_ROWS)
 
     def lookup_many(self, values: Iterable[object]) -> List[Row]:
         """Union of lookups for several values (bin-expanded queries)."""
+        buckets = self._buckets
         results: List[Row] = []
         for value in values:
-            results.extend(self.lookup(value))
+            self.probe_count += 1
+            bucket = buckets.get(value)
+            if bucket:
+                results.extend(bucket)
         return results
 
     def add_row(self, row: Row) -> None:
@@ -120,3 +146,52 @@ class SortedIndex:
 
     def __len__(self) -> int:
         return len(self._rows)
+
+
+class EncryptedTagIndex:
+    """Exact-match index over the encrypted relation's stable search keys.
+
+    Buckets map a scheme-defined key (see
+    :meth:`~repro.crypto.base.EncryptedSearchScheme.index_key`) to the
+    ``(storage position, row)`` pairs stored under it.  Positions let schemes
+    reconstruct storage order, so the indexed search path returns exactly
+    what the linear scan would have.
+
+    ``probe_count`` counts key probes; ``rows_examined`` counts the rows the
+    probes surfaced — the indexed analogue of "rows scanned", fed into
+    :class:`~repro.cloud.server.QueryResponse.sensitive_scanned`.
+    """
+
+    _NO_ENTRIES: List[Tuple[int, "EncryptedRow"]] = []
+
+    def __init__(self, scheme: "EncryptedSearchScheme"):
+        self._scheme = scheme
+        self._buckets: Dict[bytes, List[Tuple[int, "EncryptedRow"]]] = defaultdict(list)
+        self._size = 0
+        self.probe_count = 0
+        self.rows_examined = 0
+
+    def add_rows(self, rows: Sequence["EncryptedRow"], start_position: int) -> None:
+        """Index ``rows`` stored at positions ``start_position, ...``."""
+        buckets = self._buckets
+        for offset, row in enumerate(rows):
+            key = self._scheme.index_key(row)
+            if key is None:
+                continue
+            buckets[key].append((start_position + offset, row))
+            self._size += 1
+
+    def probe(self, key: bytes) -> List[Tuple[int, "EncryptedRow"]]:
+        """The (position, row) pairs stored under ``key`` (live, read-only)."""
+        self.probe_count += 1
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return self._NO_ENTRIES
+        self.rows_examined += len(bucket)
+        return bucket
+
+    def distinct_count(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return self._size

@@ -7,6 +7,25 @@ produced).  It answers the two halves of a partitioned query and, being
 honest-but-curious, faithfully records an :class:`AdversarialView` for every
 request it serves.
 
+The sensitive half is served through whichever of three paths applies, in
+decreasing order of preference:
+
+1. an :class:`~repro.cloud.indexes.EncryptedTagIndex` when the scheme's rows
+   carry stable search keys (``supports_tag_index``) — index probes, no scan;
+2. the *bin-addressed store*: when the owner supplies the sensitive bin
+   assignment at outsourcing time, rows are grouped by bin so a bin retrieval
+   scans exactly one bin's slice, never the whole relation;
+3. the linear scan over all ciphertexts (``scheme.search``), the fallback and
+   the reference semantics the other two paths must reproduce exactly.
+
+:meth:`CloudServer.process_batch` serves many requests in one call, computing
+each distinct retrieval once while still recording one adversarial view and
+one set of statistics increments per query — batching changes *work*, never
+the observable view or the cloud's per-query accounting (``CloudStatistics``,
+index counters, network log).  Scheme-internal work counters (e.g. Paillier's
+``homomorphic_ops``) intentionally reflect the deduplicated compute: they
+count cryptographic operations actually performed.
+
 The server also keeps simple operation counters (rows scanned, index probes,
 tuples shipped) which the benchmark harness converts into simulated times via
 the cost model, so experiments do not depend on wall-clock noise.
@@ -16,10 +35,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.adversary.view import AdversarialView, ViewLog
-from repro.cloud.indexes import HashIndex
+from repro.cloud.indexes import EncryptedTagIndex, HashIndex
 from repro.cloud.network import NetworkModel
 from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
 from repro.data.relation import Relation, Row
@@ -50,6 +69,26 @@ class CloudStatistics:
     sensitive_rows_returned: int = 0
     non_sensitive_probes: int = 0
     sensitive_tokens_processed: int = 0
+    #: encrypted rows actually examined while answering sensitive sub-queries
+    #: (= relation size per query under a linear scan; far less when the tag
+    #: index or the bin-addressed store applies).
+    sensitive_rows_scanned: int = 0
+
+
+@dataclass(frozen=True)
+class BatchRequest:
+    """One partitioned request inside a :meth:`CloudServer.process_batch` call.
+
+    Mirrors the parameters of :meth:`CloudServer.process_request`; values and
+    tokens are tuples so a batch executor can hash requests to deduplicate
+    repeated bin-pair retrievals.
+    """
+
+    attribute: str
+    cleartext_values: Tuple[object, ...] = ()
+    tokens: Tuple[SearchToken, ...] = ()
+    sensitive_bin_index: Optional[int] = None
+    non_sensitive_bin_index: Optional[int] = None
 
 
 class CloudServer:
@@ -60,14 +99,22 @@ class CloudServer:
         name: str = "public-cloud",
         network: Optional[NetworkModel] = None,
         use_indexes: bool = True,
+        use_encrypted_indexes: bool = True,
     ):
         self.name = name
         self.network = network or NetworkModel()
         self.use_indexes = use_indexes
+        #: gates both the tag index and the bin-addressed store; turning it
+        #: off forces the linear-scan reference path (benchmark baseline).
+        self.use_encrypted_indexes = use_encrypted_indexes
         self._non_sensitive: Optional[Relation] = None
         self._indexes: Dict[str, HashIndex] = {}
         self._encrypted_rows: List[EncryptedRow] = []
+        self._encrypted_rows_snapshot: Optional[Tuple[EncryptedRow, ...]] = None
         self._scheme: Optional[EncryptedSearchScheme] = None
+        self._tag_index: Optional[EncryptedTagIndex] = None
+        self._bin_store: Optional[Dict[int, List[EncryptedRow]]] = None
+        self._unassigned_sensitive: List[EncryptedRow] = []
         self.view_log = ViewLog()
         self.stats = CloudStatistics()
         self._query_counter = itertools.count()
@@ -82,23 +129,68 @@ class CloudServer:
         )
 
     def store_sensitive(
-        self, encrypted_rows: Sequence[EncryptedRow], scheme: EncryptedSearchScheme
+        self,
+        encrypted_rows: Sequence[EncryptedRow],
+        scheme: EncryptedSearchScheme,
+        bin_assignment: Optional[Mapping[int, int]] = None,
     ) -> None:
         """Receive the encrypted sensitive rows and the scheme's cloud logic.
 
         Only the scheme's *cloud-side* behaviour (``search``) is exercised by
         the server; the owner keeps the keys.
+
+        ``bin_assignment`` (rid → sensitive bin index) is the optional hint a
+        Query Binning owner sends along: it lets the cloud group ciphertexts
+        by bin so each bin retrieval scans one slice instead of the whole
+        relation.  The grouping reveals nothing new — bin membership is
+        exactly what the adversary reconstructs from repeated retrievals.
         """
         self._encrypted_rows = list(encrypted_rows)
+        self._encrypted_rows_snapshot = None
         self._scheme = scheme
+        self._tag_index = None
+        self._bin_store = None
+        self._unassigned_sensitive = []
+        if self.use_encrypted_indexes:
+            if scheme.supports_tag_index:
+                self._tag_index = EncryptedTagIndex(scheme)
+                self._tag_index.add_rows(self._encrypted_rows, 0)
+            elif bin_assignment is not None:
+                self._bin_store = {}
+                self._place_in_bins(self._encrypted_rows, bin_assignment)
         self.network.record(
             "upload", "outsource sensitive relation (encrypted)", len(encrypted_rows)
         )
 
-    def append_sensitive(self, encrypted_rows: Sequence[EncryptedRow]) -> None:
+    def append_sensitive(
+        self,
+        encrypted_rows: Sequence[EncryptedRow],
+        bin_assignment: Optional[Mapping[int, int]] = None,
+    ) -> None:
         """Receive additional encrypted rows (inserts, fake-tuple padding)."""
+        start_position = len(self._encrypted_rows)
         self._encrypted_rows.extend(encrypted_rows)
+        self._encrypted_rows_snapshot = None
+        if self._tag_index is not None:
+            self._tag_index.add_rows(encrypted_rows, start_position)
+        if self._bin_store is not None:
+            self._place_in_bins(encrypted_rows, bin_assignment or {})
         self.network.record("upload", "append sensitive rows", len(encrypted_rows))
+
+    def _place_in_bins(
+        self,
+        encrypted_rows: Sequence[EncryptedRow],
+        bin_assignment: Mapping[int, int],
+    ) -> None:
+        assert self._bin_store is not None
+        for row in encrypted_rows:
+            bin_index = bin_assignment.get(row.rid)
+            if bin_index is None:
+                # Rows the owner did not place must stay visible to every bin
+                # retrieval, otherwise the sliced scan could miss matches.
+                self._unassigned_sensitive.append(row)
+            else:
+                self._bin_store.setdefault(bin_index, []).append(row)
 
     def append_non_sensitive(self, rows: Iterable[Dict[str, object]]) -> int:
         """Receive additional cleartext rows (inserts); returns count added."""
@@ -146,7 +238,10 @@ class CloudServer:
 
     @property
     def stored_encrypted_rows(self) -> Tuple[EncryptedRow, ...]:
-        return tuple(self._encrypted_rows)
+        """The encrypted relation in storage order (cached between mutations)."""
+        if self._encrypted_rows_snapshot is None:
+            self._encrypted_rows_snapshot = tuple(self._encrypted_rows)
+        return self._encrypted_rows_snapshot
 
     # -- query processing --------------------------------------------------------
     def _select_non_sensitive(self, attribute: str, values: Sequence[object]) -> List[Row]:
@@ -161,35 +256,94 @@ class CloudServer:
         self.stats.non_sensitive_probes += len(values)
         return relation.select_in(attribute, values)
 
-    def process_request(
+    def _search_sensitive(
+        self, tokens: Sequence[SearchToken], sensitive_bin_index: Optional[int]
+    ) -> Tuple[List[EncryptedRow], int]:
+        """Serve the sensitive half; returns (matches, rows examined).
+
+        Prefers the tag index, then the bin-addressed store, then the linear
+        scan.  All three return the same rows (parity is covered by tests);
+        only the number of rows examined differs.
+        """
+        scheme = self._scheme
+        if scheme is None:
+            raise CloudError("no sensitive relation outsourced yet")
+        if self._tag_index is not None:
+            examined_before = self._tag_index.rows_examined
+            matches = scheme.indexed_search(self._tag_index, tokens)
+            return matches, self._tag_index.rows_examined - examined_before
+        if self._bin_store is not None and sensitive_bin_index is not None:
+            candidates = self._bin_store.get(sensitive_bin_index, [])
+            if self._unassigned_sensitive:
+                candidates = candidates + self._unassigned_sensitive
+            return scheme.search(candidates, tokens), len(candidates)
+        return scheme.search(self._encrypted_rows, tokens), len(self._encrypted_rows)
+
+    def _charge_cached_non_sensitive(self, attribute: str, count: int) -> None:
+        """Replicate the counters a cache-served cleartext lookup skips."""
+        self.stats.non_sensitive_probes += count
+        if self.use_indexes and attribute in self._indexes:
+            self._indexes[attribute].probe_count += count
+
+    def _charge_cached_sensitive(self, token_count: int, rows_scanned: int) -> None:
+        """Replicate the counters a cache-served encrypted search skips."""
+        if self._tag_index is not None:
+            self._tag_index.probe_count += token_count
+            self._tag_index.rows_examined += rows_scanned
+
+    def _process_one(
         self,
         attribute: str,
         cleartext_values: Sequence[object],
         tokens: Sequence[SearchToken],
-        sensitive_bin_index: Optional[int] = None,
-        non_sensitive_bin_index: Optional[int] = None,
+        sensitive_bin_index: Optional[int],
+        non_sensitive_bin_index: Optional[int],
+        non_sensitive_cache: Optional[Dict[Tuple, List[Row]]] = None,
+        sensitive_cache: Optional[Dict[Tuple, Tuple[List[EncryptedRow], int]]] = None,
     ) -> QueryResponse:
-        """Serve one partitioned request (both halves) and log the view.
+        """Serve one request, optionally reusing batched retrieval results.
 
-        Parameters mirror what actually travels over the wire: the cleartext
-        values of the non-sensitive bin and the opaque tokens of the sensitive
-        bin.  Bin indexes are accepted purely to annotate the recorded view
-        for later analysis; the adversary could recover them by grouping
-        identical requests.
+        The caches only skip *compute*: every query still gets its own view
+        log entry, statistics increments, and network transfer, so batched
+        and sequential execution are observationally identical.
         """
         query_id = next(self._query_counter)
 
-        non_sensitive_rows = (
-            self._select_non_sensitive(attribute, cleartext_values)
-            if cleartext_values
-            else []
-        )
+        non_sensitive_rows: List[Row] = []
+        if cleartext_values:
+            ns_key = (attribute, tuple(cleartext_values))
+            cached_rows = (
+                non_sensitive_cache.get(ns_key)
+                if non_sensitive_cache is not None
+                else None
+            )
+            if cached_rows is not None:
+                non_sensitive_rows = cached_rows
+                self._charge_cached_non_sensitive(attribute, len(cleartext_values))
+            else:
+                non_sensitive_rows = self._select_non_sensitive(
+                    attribute, cleartext_values
+                )
+                if non_sensitive_cache is not None:
+                    non_sensitive_cache[ns_key] = non_sensitive_rows
 
         encrypted_matches: List[EncryptedRow] = []
+        sensitive_scanned = 0
         if tokens:
-            if self._scheme is None:
-                raise CloudError("no sensitive relation outsourced yet")
-            encrypted_matches = self._scheme.search(self._encrypted_rows, tokens)
+            s_key = (tuple(tokens), sensitive_bin_index)
+            cached_search = (
+                sensitive_cache.get(s_key) if sensitive_cache is not None else None
+            )
+            if cached_search is not None:
+                encrypted_matches, sensitive_scanned = cached_search
+                self._charge_cached_sensitive(len(tokens), sensitive_scanned)
+            else:
+                encrypted_matches, sensitive_scanned = self._search_sensitive(
+                    tokens, sensitive_bin_index
+                )
+                if sensitive_cache is not None:
+                    sensitive_cache[s_key] = (encrypted_matches, sensitive_scanned)
+            self.stats.sensitive_rows_scanned += sensitive_scanned
             self.stats.sensitive_tokens_processed += len(tokens)
 
         transfer_seconds = self.network.record(
@@ -209,7 +363,7 @@ class CloudServer:
                 non_sensitive_request=tuple(cleartext_values),
                 sensitive_request_size=len(tokens),
                 returned_non_sensitive=tuple(non_sensitive_rows),
-                returned_sensitive_rids=tuple(row.rid for row in encrypted_matches),
+                returned_sensitive_rids=tuple([row.rid for row in encrypted_matches]),
                 sensitive_bin_index=sensitive_bin_index,
                 non_sensitive_bin_index=non_sensitive_bin_index,
             )
@@ -219,9 +373,64 @@ class CloudServer:
             non_sensitive_rows=non_sensitive_rows,
             encrypted_rows=encrypted_matches,
             non_sensitive_scanned=len(cleartext_values),
-            sensitive_scanned=len(self._encrypted_rows) if tokens else 0,
+            sensitive_scanned=sensitive_scanned,
             transfer_seconds=transfer_seconds,
         )
+
+    def process_request(
+        self,
+        attribute: str,
+        cleartext_values: Sequence[object],
+        tokens: Sequence[SearchToken],
+        sensitive_bin_index: Optional[int] = None,
+        non_sensitive_bin_index: Optional[int] = None,
+    ) -> QueryResponse:
+        """Serve one partitioned request (both halves) and log the view.
+
+        Parameters mirror what actually travels over the wire: the cleartext
+        values of the non-sensitive bin and the opaque tokens of the sensitive
+        bin.  Bin indexes serve two roles: they annotate the recorded view
+        for later analysis (the adversary could recover them by grouping
+        identical requests), and they address the bin-addressed store when
+        the scheme has no indexable tags.
+        """
+        return self._process_one(
+            attribute,
+            cleartext_values,
+            tokens,
+            sensitive_bin_index,
+            non_sensitive_bin_index,
+        )
+
+    def process_batch(self, requests: Sequence[BatchRequest]) -> List[QueryResponse]:
+        """Serve many requests, computing each distinct retrieval only once.
+
+        QB workloads are heavily repetitive — every value of a bin pair maps
+        to the *same* request — so the batch executor memoises the cleartext
+        lookup and the encrypted search per distinct request within the
+        batch.  Deduplication never merges queries' observable effects: each
+        request still produces its own query id, adversarial view,
+        ``CloudStatistics`` and index-counter increments, and network
+        transfer, exactly as if served sequentially.  Only the compute is
+        shared, so counters *inside* a scheme that tally cryptographic
+        operations actually performed will reflect the deduplication.
+        """
+        non_sensitive_cache: Dict[Tuple, List[Row]] = {}
+        sensitive_cache: Dict[Tuple, Tuple[List[EncryptedRow], int]] = {}
+        responses: List[QueryResponse] = []
+        for request in requests:
+            responses.append(
+                self._process_one(
+                    request.attribute,
+                    request.cleartext_values,
+                    request.tokens,
+                    request.sensitive_bin_index,
+                    request.non_sensitive_bin_index,
+                    non_sensitive_cache=non_sensitive_cache,
+                    sensitive_cache=sensitive_cache,
+                )
+            )
+        return responses
 
     def reset_observations(self) -> None:
         """Clear adversarial views and counters (between experiments)."""

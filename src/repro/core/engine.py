@@ -20,7 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.cloud.server import CloudServer, QueryResponse
+from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
 from repro.core.binning import create_bins, layout_covers_all_bin_pairs
 from repro.core.bins import BinLayout
 from repro.core.general_binning import create_general_bins
@@ -85,14 +85,20 @@ class _PartitionedEngineBase:
             return []
         return self.scheme.encrypt_rows(rows, self.attribute)
 
-    def _make_fake_rows(self, layout: BinLayout) -> List[EncryptedRow]:
+    def _make_fake_rows(
+        self, layout: BinLayout
+    ) -> Tuple[List[EncryptedRow], List[int]]:
         """Create the padding tuples the general case requires.
 
         Each sensitive bin with a deficit receives fake tuples whose searched
         attribute equals one of the bin's values, so retrieving the bin always
-        returns the same (padded) number of encrypted rows.
+        returns the same (padded) number of encrypted rows.  All fake source
+        rows are built first and encrypted in a single batch call; the second
+        return value gives each fake's sensitive bin index (parallel to the
+        first), feeding the cloud's bin-addressed store.
         """
-        fakes: List[EncryptedRow] = []
+        sources: List[Row] = []
+        source_bins: List[int] = []
         sensitive_rows = list(self.partition.sensitive.rows)
         template_by_value: Dict[object, Row] = {}
         for row in sensitive_rows:
@@ -109,17 +115,60 @@ class _PartitionedEngineBase:
             for _ in range(deficit):
                 values = dict(base.values)
                 values[self.attribute] = anchor_value
-                fake_source = Row(
-                    rid=next(self._fake_rid_counter), values=values, sensitive=True
+                sources.append(
+                    Row(rid=next(self._fake_rid_counter), values=values, sensitive=True)
                 )
-                fakes.append(self.scheme.make_fake_row(self.attribute, fake_source))
-        return fakes
+                source_bins.append(bin_.index)
+        if not sources:
+            return [], []
+        return self.scheme.make_fake_rows(self.attribute, sources), source_bins
 
     def _decrypt_and_merge(
         self, query: SelectionQuery, response: QueryResponse
     ) -> List[Row]:
         sensitive_rows = self.scheme.decrypt_rows(response.encrypted_rows)
         return merge_results(query, sensitive_rows, response.non_sensitive_rows)
+
+    # -- trace construction (shared by sequential and batched execution) ---------
+    @staticmethod
+    def _empty_trace(query: SelectionQuery) -> ExecutionTrace:
+        """The trace of a query whose value retrieves nothing (rule 'none')."""
+        return ExecutionTrace(
+            query=query,
+            binned=None,
+            sensitive_values_requested=0,
+            non_sensitive_values_requested=0,
+            encrypted_rows_returned=0,
+            non_sensitive_rows_returned=0,
+            rows_after_merge=0,
+            transfer_seconds=0.0,
+        )
+
+    @staticmethod
+    def _trace_for(
+        query: SelectionQuery,
+        decision: RetrievalDecision,
+        response: QueryResponse,
+        rows_after_merge: int,
+    ) -> ExecutionTrace:
+        """The trace of an executed retrieval (one construction site for all paths)."""
+        binned = BinnedQuery(
+            original=query,
+            sensitive_values=decision.sensitive_values,
+            non_sensitive_values=decision.non_sensitive_values,
+            sensitive_bin_index=decision.sensitive_bin_index,
+            non_sensitive_bin_index=decision.non_sensitive_bin_index,
+        )
+        return ExecutionTrace(
+            query=query,
+            binned=binned,
+            sensitive_values_requested=len(decision.sensitive_values),
+            non_sensitive_values_requested=len(decision.non_sensitive_values),
+            encrypted_rows_returned=len(response.encrypted_rows),
+            non_sensitive_rows_returned=len(response.non_sensitive_rows),
+            rows_after_merge=rows_after_merge,
+            transfer_seconds=response.transfer_seconds,
+        )
 
 
 class QueryBinningEngine(_PartitionedEngineBase):
@@ -174,6 +223,20 @@ class QueryBinningEngine(_PartitionedEngineBase):
         self.layout: Optional[BinLayout] = None
         self.retriever: Optional[BinRetriever] = None
         self.fake_rows_outsourced = 0
+        # Owner-side cache of search tokens per sensitive bin: every query
+        # hitting the same bin sends the same token set, so recomputing
+        # tokens_for_values per query is pure waste.  Invalidated whenever
+        # the scheme's owner metadata can change (setup, sensitive inserts).
+        self._token_cache: Dict[int, List] = {}
+
+    def _wants_bin_store(self) -> bool:
+        """Whether the cloud will use a bin-addressed store for this engine.
+
+        The store applies exactly when encrypted indexes are enabled and the
+        scheme has no indexable tags; both the setup and insert paths consult
+        this so their bin-assignment bookkeeping can never disagree.
+        """
+        return self.cloud.use_encrypted_indexes and not self.scheme.supports_tag_index
 
     # -- setup -----------------------------------------------------------------------
     def setup(self) -> "QueryBinningEngine":
@@ -207,14 +270,28 @@ class QueryBinningEngine(_PartitionedEngineBase):
         self.retriever = BinRetriever(self.layout)
 
         encrypted = self._encrypt_sensitive_rows()
+        # The bin assignment only feeds the cloud's bin-addressed store —
+        # skip the O(n) pass when the cloud would discard it.
+        bin_assignment: Optional[Dict[int, int]] = (
+            {} if self._wants_bin_store() else None
+        )
+        if bin_assignment is not None:
+            for row in self.partition.sensitive.rows:
+                location = self.layout.locate_sensitive(row[self.attribute])
+                if location is not None:
+                    bin_assignment[row.rid] = location[0]
         if self.add_fake_tuples:
-            fakes = self._make_fake_rows(self.layout)
+            fakes, fake_bins = self._make_fake_rows(self.layout)
             self.fake_rows_outsourced = len(fakes)
+            if bin_assignment is not None:
+                for fake, bin_index in zip(fakes, fake_bins):
+                    bin_assignment[fake.rid] = bin_index
             encrypted = encrypted + fakes
 
         self.cloud.store_non_sensitive(self.partition.non_sensitive)
-        self.cloud.store_sensitive(encrypted, self.scheme)
+        self.cloud.store_sensitive(encrypted, self.scheme, bin_assignment=bin_assignment)
         self.cloud.build_index(self.attribute)
+        self._token_cache.clear()
         self._outsourced = True
         return self
 
@@ -270,30 +347,9 @@ class QueryBinningEngine(_PartitionedEngineBase):
         decision = self.retriever.retrieve(value)
 
         if not decision.retrieves_anything:
-            trace = ExecutionTrace(
-                query=query,
-                binned=None,
-                sensitive_values_requested=0,
-                non_sensitive_values_requested=0,
-                encrypted_rows_returned=0,
-                non_sensitive_rows_returned=0,
-                rows_after_merge=0,
-                transfer_seconds=0.0,
-            )
-            return [], trace
+            return [], self._empty_trace(query)
 
-        binned = BinnedQuery(
-            original=query,
-            sensitive_values=decision.sensitive_values,
-            non_sensitive_values=decision.non_sensitive_values,
-            sensitive_bin_index=decision.sensitive_bin_index,
-            non_sensitive_bin_index=decision.non_sensitive_bin_index,
-        )
-        tokens = (
-            self.scheme.tokens_for_values(list(decision.sensitive_values), self.attribute)
-            if decision.sensitive_values
-            else []
-        )
+        tokens = self.tokens_for_decision(decision)
         response = self.cloud.process_request(
             self.attribute,
             list(decision.non_sensitive_values),
@@ -302,24 +358,98 @@ class QueryBinningEngine(_PartitionedEngineBase):
             non_sensitive_bin_index=decision.non_sensitive_bin_index,
         )
         rows = self._decrypt_and_merge(query, response)
-        trace = ExecutionTrace(
-            query=query,
-            binned=binned,
-            sensitive_values_requested=len(decision.sensitive_values),
-            non_sensitive_values_requested=len(decision.non_sensitive_values),
-            encrypted_rows_returned=len(response.encrypted_rows),
-            non_sensitive_rows_returned=len(response.non_sensitive_rows),
-            rows_after_merge=len(rows),
-            transfer_seconds=response.transfer_seconds,
-        )
-        return rows, trace
+        return rows, self._trace_for(query, decision, response, len(rows))
 
-    def execute_workload(self, values: Iterable[object]) -> List[ExecutionTrace]:
-        """Run a sequence of selection queries; returns their traces."""
-        traces = []
-        for value in values:
-            _rows, trace = self.query_with_trace(value)
-            traces.append(trace)
+    def tokens_for_decision(self, decision: RetrievalDecision) -> List:
+        """Search tokens for a retrieval decision, cached per sensitive bin.
+
+        Every query landing on sensitive bin ``i`` requests the same value
+        set, so its token list is computed once and reused until owner-side
+        scheme metadata changes (setup or a sensitive insert).
+        """
+        if not decision.sensitive_values:
+            return []
+        bin_index = decision.sensitive_bin_index
+        if bin_index is None:
+            return self.scheme.tokens_for_values(
+                list(decision.sensitive_values), self.attribute
+            )
+        tokens = self._token_cache.get(bin_index)
+        if tokens is None:
+            tokens = self.scheme.tokens_for_values(
+                list(decision.sensitive_values), self.attribute
+            )
+            self._token_cache[bin_index] = tokens
+        return tokens
+
+    def build_requests(
+        self, values: Sequence[object]
+    ) -> Tuple[List[BatchRequest], List[Optional[RetrievalDecision]]]:
+        """Owner-side rewrite of a workload into cloud batch requests.
+
+        Returns the request list plus, per input value, the retrieval
+        decision (``None`` when the value retrieves nothing — such values
+        produce no request).  Shared by the batched ``execute_workload`` path
+        and the benchmark harness so both send the same request stream.
+        """
+        self._require_setup()
+        assert self.retriever is not None
+        requests: List[BatchRequest] = []
+        slots: List[Optional[RetrievalDecision]] = []
+        for decision in self.retriever.retrieve_many(values):
+            if not decision.retrieves_anything:
+                slots.append(None)
+                continue
+            requests.append(
+                BatchRequest(
+                    attribute=self.attribute,
+                    cleartext_values=tuple(decision.non_sensitive_values),
+                    tokens=tuple(self.tokens_for_decision(decision)),
+                    sensitive_bin_index=decision.sensitive_bin_index,
+                    non_sensitive_bin_index=decision.non_sensitive_bin_index,
+                )
+            )
+            slots.append(decision)
+        return requests, slots
+
+    def execute_workload(
+        self, values: Iterable[object], batched: bool = True
+    ) -> List[ExecutionTrace]:
+        """Run a sequence of selection queries; returns their traces.
+
+        The default batched fast path rewrites the whole workload first, then
+        serves it through :meth:`CloudServer.process_batch`, which computes
+        each distinct bin-pair retrieval once; decryption is likewise shared
+        between queries answered from the same retrieval.  Traces, views, and
+        statistics are identical to sequential execution (``batched=False``);
+        use ``batched=False`` when *timing* individual queries, since
+        deduplication compresses wall-clock per-query cost.
+        """
+        if not batched:
+            return [self.query_with_trace(value)[1] for value in values]
+        values = list(values)
+        requests, slots = self.build_requests(values)
+        responses = self.cloud.process_batch(requests)
+
+        traces: List[ExecutionTrace] = []
+        decrypted_cache: Dict[int, List[Row]] = {}
+        response_index = 0
+        for value, decision in zip(values, slots):
+            query = SelectionQuery(self.attribute, value)
+            if decision is None:
+                traces.append(self._empty_trace(query))
+                continue
+            response = responses[response_index]
+            response_index += 1
+            # Deduplicated responses share their encrypted row list, so one
+            # decryption pass serves every query answered from that retrieval.
+            cache_key = id(response.encrypted_rows)
+            sensitive_rows = decrypted_cache.get(cache_key)
+            if sensitive_rows is None:
+                sensitive_rows = self.scheme.decrypt_rows(response.encrypted_rows)
+                decrypted_cache[cache_key] = sensitive_rows
+            rows = merge_results(query, sensitive_rows, response.non_sensitive_rows)
+            traces.append(self._trace_for(query, decision, response, len(rows)))
         return traces
 
     # -- introspection ----------------------------------------------------------------
@@ -337,7 +467,15 @@ class QueryBinningEngine(_PartitionedEngineBase):
                 values, sensitive=True, rid=rid, validate=False
             )
             encrypted = self.scheme.encrypt_rows([row], self.attribute)
-            self.cloud.append_sensitive(encrypted)
+            bin_assignment: Dict[int, int] = {}
+            if self._wants_bin_store() and self.layout is not None:
+                location = self.layout.locate_sensitive(values[self.attribute])
+                if location is not None:
+                    bin_assignment[rid] = location[0]
+            self.cloud.append_sensitive(encrypted, bin_assignment=bin_assignment)
+            # Owner metadata changed (address books, occurrence counters):
+            # cached per-bin tokens may now be stale.
+            self._token_cache.clear()
             assert self.metadata is not None
             counts = self.metadata.sensitive_counts
             counts[values[self.attribute]] = counts.get(values[self.attribute], 0) + 1

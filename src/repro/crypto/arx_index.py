@@ -40,6 +40,10 @@ class ArxIndexScheme(EncryptedSearchScheme):
 
     name = "arx-index"
 
+    #: The whole point of Arx: ``(value, occurrence)`` tags are stable, so
+    #: the cloud maintains a regular exact-match index over them.
+    supports_tag_index = True
+
     #: Relative search-cost factor vs cleartext (the paper measures β ≈ 1.4-2.5
     #: for Arx because the cloud uses a regular index).
     beta_estimate = 2.0
@@ -127,6 +131,13 @@ class ArxIndexScheme(EncryptedSearchScheme):
         matches: List[EncryptedRow] = []
         for token in tokens:
             matches.extend(index.get(token.payload, ()))
+        return matches
+
+    def indexed_search(self, index, tokens: Sequence[SearchToken]) -> List[EncryptedRow]:
+        """Per-token probes (Arx returns one row per token, in token order)."""
+        matches: List[EncryptedRow] = []
+        for token in tokens:
+            matches.extend(row for _position, row in index.probe(token.payload))
         return matches
 
     # -- metadata accessors -----------------------------------------------------

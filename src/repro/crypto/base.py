@@ -16,16 +16,31 @@ Each scheme also advertises a :class:`LeakageProfile` describing which
 attacks it is susceptible to on its own; the security benchmarks use this to
 demonstrate that QB removes the size / frequency / workload-skew signals even
 when the underlying scheme leaks them.
+
+Schemes whose rows carry a *stable* per-row search key additionally opt into
+cloud-side indexing by setting :attr:`EncryptedSearchScheme.supports_tag_index`
+and (when the key is not simply ``search_tag`` / ``token.payload``) overriding
+the :meth:`~EncryptedSearchScheme.index_key` /
+:meth:`~EncryptedSearchScheme.token_index_key` hooks.  The cloud then serves
+their queries from an :class:`~repro.cloud.indexes.EncryptedTagIndex` instead
+of scanning the whole encrypted relation; schemes that must examine rows to
+match (trial decryption, PRF testing) keep ``supports_tag_index = False`` and
+are served from the cloud's bin-addressed store when Query Binning supplies a
+bin assignment.  Indexing changes nothing in the adversarial view: the index
+is built from exactly the (tag, rid) pairs the adversary already stores.
 """
 
 from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.data.relation import Row
 from repro.exceptions import CryptoError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (indexes imports base)
+    from repro.cloud.indexes import EncryptedTagIndex
 
 
 @dataclass(frozen=True)
@@ -97,6 +112,13 @@ class EncryptedSearchScheme(abc.ABC):
     #: human-readable scheme name, set by subclasses
     name: str = "abstract"
 
+    #: True when every stored row carries a stable key (:meth:`index_key`)
+    #: that search tokens can be mapped onto (:meth:`token_index_key`), so the
+    #: cloud may answer ``search`` with exact-match index probes instead of a
+    #: scan.  Schemes that must *examine* rows to match (trial decryption, PRF
+    #: testing) leave this False and rely on the bin-addressed store.
+    supports_tag_index: bool = False
+
     @property
     @abc.abstractmethod
     def leakage(self) -> LeakageProfile:
@@ -124,6 +146,39 @@ class EncryptedSearchScheme(abc.ABC):
     def decrypt_row(self, encrypted: EncryptedRow) -> Row:
         """Owner-side decryption of a returned ciphertext."""
 
+    # -- cloud-side indexing hooks ------------------------------------------
+    def index_key(self, row: EncryptedRow) -> Optional[bytes]:
+        """The stable key the cloud indexes ``row`` under, or ``None``.
+
+        Only consulted when :attr:`supports_tag_index` is True.  The default
+        uses the row's search tag, which is correct for every scheme whose
+        tag is a deterministic function of the (attribute, value) pair.
+        """
+        return row.search_tag or None
+
+    def token_index_key(self, token: SearchToken) -> Optional[bytes]:
+        """The index key a search token probes for, or ``None``."""
+        return token.payload
+
+    def indexed_search(
+        self, index: "EncryptedTagIndex", tokens: Sequence[SearchToken]
+    ) -> List[EncryptedRow]:
+        """Answer ``search`` from a cloud-side tag index.
+
+        The default mirrors the membership-test scans used by most schemes:
+        each stored row is returned at most once, in storage order, if any
+        token probes its key.  Schemes whose linear ``search`` has different
+        multiplicity/order semantics (e.g. Arx's per-token probing) override
+        this so the indexed and linear paths stay bit-identical.
+        """
+        matched: Dict[int, EncryptedRow] = {}
+        update = matched.update  # bulk-insert each bucket (positions are unique)
+        for token in tokens:
+            key = self.token_index_key(token)
+            if key is not None:
+                update(index.probe(key))
+        return [row for _position, row in sorted(matched.items())]
+
     # -- conveniences shared by all schemes ---------------------------------
     def decrypt_rows(self, encrypted: Iterable[EncryptedRow]) -> List[Row]:
         """Decrypt many rows, silently dropping padding (fake) tuples."""
@@ -142,13 +197,33 @@ class EncryptedSearchScheme(abc.ABC):
         constructions.  Fake rows are never returned to the application: the
         owner drops them during decryption.
         """
-        encrypted = self.encrypt_rows([template], attribute)
-        if not encrypted:
-            raise CryptoError("scheme produced no ciphertext for the fake row")
-        first = encrypted[0]
-        return EncryptedRow(
-            rid=first.rid,
-            ciphertext=first.ciphertext,
-            search_tag=first.search_tag,
-            is_fake=True,
-        )
+        fakes = self.make_fake_rows(attribute, [template])
+        return fakes[0]
+
+    def make_fake_rows(
+        self, attribute: str, templates: Sequence[Row]
+    ) -> List[EncryptedRow]:
+        """Create many padding tuples with a single ``encrypt_rows`` call.
+
+        Bin equalisation can require thousands of fake tuples; encrypting
+        them in one batch amortises per-call overhead (key schedules, counter
+        lookups) instead of paying it once per deficit unit.
+        """
+        templates = list(templates)
+        if not templates:
+            return []
+        encrypted = self.encrypt_rows(templates, attribute)
+        if len(encrypted) != len(templates):
+            raise CryptoError(
+                "scheme produced "
+                f"{len(encrypted)} ciphertexts for {len(templates)} fake rows"
+            )
+        return [
+            EncryptedRow(
+                rid=item.rid,
+                ciphertext=item.ciphertext,
+                search_tag=item.search_tag,
+                is_fake=True,
+            )
+            for item in encrypted
+        ]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.engine import QueryBinningEngine
+from repro.core.retrieval import RetrievalDecision
 from repro.data.relation import Row
 from repro.exceptions import ConfigurationError, QueryError
 
@@ -104,7 +105,7 @@ class GroupByAggregator:
                 continue
             pair = (decision.sensitive_bin_index, decision.non_sensitive_bin_index)
             if pair not in pair_cache:
-                rows = self._fetch_bin_pair(decision.sensitive_values, decision.non_sensitive_values)
+                rows = self._fetch_bin_pair(decision)
                 pair_cache[pair] = rows
                 round_trips += 1
                 rows_fetched += len(rows)
@@ -121,20 +122,21 @@ class GroupByAggregator:
         return results, trace
 
     # -- internals ------------------------------------------------------------------
-    def _fetch_bin_pair(
-        self,
-        sensitive_values: Sequence[object],
-        non_sensitive_values: Sequence[object],
-    ) -> List[Row]:
-        """Fetch every row of one bin pair through the engine's cloud."""
+    def _fetch_bin_pair(self, decision: RetrievalDecision) -> List[Row]:
+        """Fetch every row of one bin pair through the engine's cloud.
+
+        Routing through the engine's per-bin token cache and passing the bin
+        indexes lets the cloud serve the request from its encrypted index or
+        bin-addressed store instead of scanning the whole relation.
+        """
         engine = self.engine
-        tokens = (
-            engine.scheme.tokens_for_values(list(sensitive_values), engine.attribute)
-            if sensitive_values
-            else []
-        )
+        tokens = engine.tokens_for_decision(decision)
         response = engine.cloud.process_request(
-            engine.attribute, list(non_sensitive_values), tokens
+            engine.attribute,
+            list(decision.non_sensitive_values),
+            tokens,
+            sensitive_bin_index=decision.sensitive_bin_index,
+            non_sensitive_bin_index=decision.non_sensitive_bin_index,
         )
         sensitive_rows = engine.scheme.decrypt_rows(response.encrypted_rows)
         return sensitive_rows + list(response.non_sensitive_rows)

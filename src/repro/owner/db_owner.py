@@ -125,9 +125,12 @@ class DBOwner:
         return self.engine_for(attribute).query_with_trace(value)
 
     def execute_workload(
-        self, attribute: str, values: Iterable[object]
+        self, attribute: str, values: Iterable[object], batched: bool = True
     ) -> List[ExecutionTrace]:
-        return self.engine_for(attribute).execute_workload(values)
+        """Run a workload; ``batched=False`` forces per-query execution
+        (identical observables, but no cross-query retrieval deduplication —
+        use it when timing individual queries)."""
+        return self.engine_for(attribute).execute_workload(values, batched=batched)
 
     def insert(self, values: Dict[str, object]) -> None:
         """Insert a new row, classifying it under the owner's policy."""

@@ -1,0 +1,49 @@
+"""Fast perf smoke for the indexed query pipeline (``pytest -m perf -q``).
+
+Runs the throughput benchmark machinery at reduced scale so the tier-1 suite
+exercises every cloud search path end-to-end.  Assertions here are restricted
+to the *hardware-independent* contraction (rows examined per query) so the
+suite stays deterministic on loaded machines; the wall-clock acceptance
+numbers (≥5x queries/sec at 100k rows) are recorded in the committed
+``BENCH_throughput.json`` trajectory and asserted by the explicitly-invoked
+(bench files are not auto-collected) full-scale test::
+
+    PYTHONPATH=src python -m pytest -m perf -q \
+        benchmarks/bench_perf_query_throughput.py
+"""
+
+import pytest
+
+from benchmarks.bench_perf_query_throughput import print_results, run_throughput_suite
+
+
+@pytest.mark.perf
+def test_perf_smoke_indexed_query_throughput():
+    results = run_throughput_suite(
+        sizes=(10_000,),
+        query_budget={
+            "linear-scan": 20,
+            "tag-index": 150,
+            "tag-index+batch": 150,
+            "sse-linear-scan": 3,
+            "sse-bin-store": 20,
+        },
+        out_path=None,
+    )
+    print_results(results)
+    measured = results["sizes"][0]["results"]
+
+    # Every configuration answered its whole workload.
+    for name, config in measured.items():
+        assert config["queries"] > 0, name
+        assert config["elapsed_seconds"] > 0, name
+
+    # The rows-scanned contraction is deterministic: linear scans examine the
+    # whole encrypted relation per query, the indexed paths one bin's worth.
+    linear_rows = measured["linear-scan"]["rows_scanned_per_query"]
+    stored = measured["linear-scan"]["encrypted_rows_stored"]
+    assert linear_rows == stored
+    assert measured["sse-linear-scan"]["rows_scanned_per_query"] == stored
+    assert measured["tag-index"]["rows_scanned_per_query"] < linear_rows / 5
+    assert measured["tag-index+batch"]["rows_scanned_per_query"] < linear_rows / 5
+    assert measured["sse-bin-store"]["rows_scanned_per_query"] < linear_rows / 5
