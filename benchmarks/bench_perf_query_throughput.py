@@ -226,6 +226,7 @@ def print_results(results: Dict) -> None:
 
 
 @pytest.mark.perf
+@pytest.mark.slowperf
 def test_throughput_acceptance_at_100k():
     """The acceptance bar: ≥5x queries/sec over the linear scan at 100k rows.
 

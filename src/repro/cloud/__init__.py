@@ -7,15 +7,17 @@ honest-but-curious — records everything it observes as adversarial views.
 
 from repro.cloud.indexes import HashIndex, SortedIndex
 from repro.cloud.network import NetworkModel, TransferLog
-from repro.cloud.server import CloudServer, QueryResponse
-from repro.cloud.multi_cloud import MultiCloud
+from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
+from repro.cloud.multi_cloud import MultiCloud, ShardRouter
 
 __all__ = [
     "HashIndex",
     "SortedIndex",
     "NetworkModel",
     "TransferLog",
+    "BatchRequest",
     "CloudServer",
     "QueryResponse",
     "MultiCloud",
+    "ShardRouter",
 ]

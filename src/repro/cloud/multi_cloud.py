@@ -1,32 +1,216 @@
-"""Multiple non-colluding clouds.
+"""Sharded execution across multiple non-colluding clouds.
 
-Secret-sharing and DPF techniques assume ``k`` servers that do not collude.
-:class:`MultiCloud` is a thin container of :class:`CloudServer` instances with
-helpers to broadcast outsourcing and to fan a request out to every server;
-each member server still records its own adversarial view, which lets tests
-confirm that no *single* server learns the query value.
+The paper's query-binning architecture assumes sensitive data can be spread
+across clouds that do not collude.  This module provides the fleet-side half
+of that architecture:
+
+* :class:`MultiCloud` — a fixed set of :class:`CloudServer` members, each
+  recording its *own* adversarial view, statistics, and network charges;
+* :class:`ShardRouter` — the partition-aware placement function that assigns
+  QB bins to members and routes request halves to them.
+
+Placement policies
+------------------
+Sensitive bins are assigned to members by one of two deterministic policies
+(see :data:`repro.data.partition.SHARD_POLICIES`):
+
+``hash``
+    ``crc32(bin) % count`` — placement of a bin is independent of every
+    other bin, so layouts that grow (incremental re-binning) never move
+    existing bins.
+``range``
+    contiguous near-even ranges of bin indexes — the classic choice when
+    consecutive bins should stay co-resident (e.g. to serve range extensions
+    from one member).
+
+At outsourcing time every member receives the cleartext non-sensitive
+relation (it is public) but only the encrypted rows of the sensitive bins the
+router assigned to it, so a bin's whole slice — real and fake tuples alike —
+lives on exactly one member and a bin retrieval never crosses servers.
+
+The non-collusion model
+-----------------------
+A binned request has two halves: the opaque tokens for a sensitive bin and
+the cleartext values of a non-sensitive bin.  Observing *both* halves of one
+query is exactly what lets an adversary associate the two bins (the paper's
+Table V leakage), so the router never co-locates them:
+
+* the sensitive half goes to the member owning the sensitive bin;
+* the cleartext half goes to a member guaranteed to be *different* — it is
+  offset from the sensitive member by ``1 + policy(ns_bin) % (count - 1)``.
+
+Each member therefore records views containing either tokens or cleartext
+values, never both, and no single server can reconstruct a (sensitive bin,
+non-sensitive bin) association.  The fleet as a whole observes exactly the
+information a single server would have observed — the parity tests in
+``tests/test_multicloud_parity.py`` pin this down field by field.
+
+Concurrency
+-----------
+:meth:`MultiCloud.process_batch` splits a batch per member and serves the
+per-member batches on a thread pool.  Each member's state is touched by only
+one worker, and each member processes its requests in arrival order, so
+per-server view logs, statistics, and network charges are deterministic
+regardless of thread scheduling.  Members do share one
+:class:`EncryptedSearchScheme` object (the keys are the owner's); schemes
+whose cloud-side matching mutates internal counters declare
+``concurrent_search_safe = False`` and are served one member at a time
+rather than racing on ``+=``.  The optional ``response_consumer`` runs in
+the *calling* thread as members complete, which is what lets the query engine
+overlap owner-side decryption with the remaining members' searches.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.cloud.network import NetworkModel
-from repro.cloud.server import CloudServer, QueryResponse
+from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
 from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
-from repro.data.relation import Relation
+from repro.data.partition import SHARD_POLICIES, stable_item_hash
+from repro.data.relation import Relation, Row
 from repro.exceptions import CloudError
+
+#: (server index, position inside that server's batch) of one request half.
+HalfPlacement = Optional[Tuple[int, int]]
+
+
+class ShardRouter:
+    """Deterministic assignment of QB bins — and request halves — to members.
+
+    Parameters
+    ----------
+    num_sensitive_bins / num_non_sensitive_bins:
+        The bin counts of the layout being sharded.
+    num_shards:
+        Fleet size; at least 2, because the non-collusion guarantee needs a
+        second member to take the cleartext half.
+    policy:
+        ``"hash"`` or ``"range"`` — see the module docstring.
+
+    Bins outside the counts the router was built for (layouts can grow
+    through incremental re-binning) fall back to hash placement, so routing
+    stays total without rebuilding.
+    """
+
+    def __init__(
+        self,
+        num_sensitive_bins: int,
+        num_non_sensitive_bins: int,
+        num_shards: int,
+        policy: str = "hash",
+    ):
+        if num_shards < 2:
+            raise CloudError(
+                "shard routing needs at least 2 servers so the cleartext half "
+                f"never lands on the sensitive half's server (got {num_shards})"
+            )
+        try:
+            assign = SHARD_POLICIES[policy]
+        except KeyError:
+            raise CloudError(
+                f"unknown shard policy {policy!r}; choose from "
+                f"{sorted(SHARD_POLICIES)}"
+            ) from None
+        self.num_sensitive_bins = num_sensitive_bins
+        self.num_non_sensitive_bins = num_non_sensitive_bins
+        self.num_shards = num_shards
+        self.policy = policy
+        self._sensitive_assignment: Dict[object, int] = assign(
+            range(num_sensitive_bins), num_shards
+        )
+        # The cleartext half is placed by a non-zero *offset* from the
+        # sensitive member, never by an absolute shard, so it cannot collide
+        # with the sensitive half no matter which member owns the bin.
+        self._non_sensitive_offset: Dict[object, int] = {
+            bin_index: 1 + shard % (num_shards - 1)
+            for bin_index, shard in assign(
+                range(num_non_sensitive_bins), num_shards
+            ).items()
+        }
+
+    # -- bin-level placement -------------------------------------------------
+    def shard_of_sensitive(self, bin_index: int) -> int:
+        """The member storing (and serving) sensitive bin ``bin_index``."""
+        shard = self._sensitive_assignment.get(bin_index)
+        if shard is None:  # bin created after the router was built
+            shard = stable_item_hash(bin_index) % self.num_shards
+        return shard
+
+    def shard_of_non_sensitive(self, bin_index: Optional[int], sensitive_shard: int) -> int:
+        """The member serving a cleartext half, guaranteed ≠ ``sensitive_shard``."""
+        if bin_index is None:
+            offset = 1
+        else:
+            offset = self._non_sensitive_offset.get(bin_index)
+            if offset is None:
+                offset = 1 + stable_item_hash(bin_index) % (self.num_shards - 1)
+        return (sensitive_shard + offset) % self.num_shards
+
+    def route(self, request: BatchRequest) -> Tuple[Optional[int], Optional[int]]:
+        """(sensitive member, cleartext member) for one request's halves.
+
+        A half the request does not carry routes to ``None``.  Requests
+        without a sensitive bin annotation (un-binned engines) anchor their
+        sensitive half on member 0 so routing stays total.
+        """
+        sensitive_shard: Optional[int] = None
+        anchor = 0
+        if request.sensitive_bin_index is not None:
+            anchor = self.shard_of_sensitive(request.sensitive_bin_index)
+        if request.has_sensitive_half:
+            sensitive_shard = anchor
+        non_sensitive_shard: Optional[int] = None
+        if request.has_non_sensitive_half:
+            non_sensitive_shard = self.shard_of_non_sensitive(
+                request.non_sensitive_bin_index, anchor
+            )
+        return sensitive_shard, non_sensitive_shard
+
+    def rebalanced(self, num_shards: int) -> "ShardRouter":
+        """The router for the same layout on a different fleet size.
+
+        Pure function of (bin counts, policy, count): rebalancing to ``k``
+        servers and back reproduces the original assignment exactly.
+        """
+        return ShardRouter(
+            self.num_sensitive_bins,
+            self.num_non_sensitive_bins,
+            num_shards,
+            policy=self.policy,
+        )
+
+    def sensitive_assignment(self) -> Dict[int, int]:
+        """A copy of the bin → member map (introspection / tests)."""
+        return dict(self._sensitive_assignment)
 
 
 class MultiCloud:
-    """A fixed set of non-colluding cloud servers."""
+    """A fixed set of non-colluding cloud servers.
 
-    def __init__(self, count: int = 2, network_factory: Optional[Callable[[], NetworkModel]] = None):
+    ``use_indexes`` / ``use_encrypted_indexes`` are forwarded to every member
+    so a fleet can be configured exactly like the single reference server it
+    is compared against.
+    """
+
+    def __init__(
+        self,
+        count: int = 2,
+        network_factory: Optional[Callable[[], NetworkModel]] = None,
+        use_indexes: bool = True,
+        use_encrypted_indexes: bool = True,
+    ):
         if count < 2:
             raise CloudError("a multi-cloud deployment needs at least 2 servers")
         factory = network_factory or NetworkModel
         self.servers: List[CloudServer] = [
-            CloudServer(name=f"cloud-{index}", network=factory())
+            CloudServer(
+                name=f"cloud-{index}",
+                network=factory(),
+                use_indexes=use_indexes,
+                use_encrypted_indexes=use_encrypted_indexes,
+            )
             for index in range(count)
         ]
 
@@ -55,17 +239,84 @@ class MultiCloud:
         for server, rows in zip(self.servers, per_server_rows):
             server.store_sensitive(rows, scheme)
 
+    def outsource_sharded(
+        self,
+        attribute: str,
+        non_sensitive: Relation,
+        encrypted_rows: Sequence[EncryptedRow],
+        scheme: EncryptedSearchScheme,
+        bin_assignment: Mapping[int, int],
+        router: ShardRouter,
+    ) -> None:
+        """Shard the encrypted relation across members by sensitive bin.
+
+        Every member receives the public cleartext relation (with a hash
+        index over ``attribute``) and exactly the ciphertexts of the bins the
+        router assigned to it; ``bin_assignment`` maps rid → sensitive bin
+        index for every row, fakes included.  Rows the owner did not place
+        (no bin) land on member 0 so no ciphertext is ever dropped.
+        """
+        if router.num_shards != len(self.servers):
+            raise CloudError(
+                f"router was built for {router.num_shards} shards, fleet has "
+                f"{len(self.servers)}"
+            )
+        per_server_rows: List[List[EncryptedRow]] = [[] for _ in self.servers]
+        per_server_bins: List[Dict[int, int]] = [{} for _ in self.servers]
+        for row in encrypted_rows:
+            bin_index = bin_assignment.get(row.rid)
+            if bin_index is None:
+                per_server_rows[0].append(row)
+                continue
+            shard = router.shard_of_sensitive(bin_index)
+            per_server_rows[shard].append(row)
+            per_server_bins[shard][row.rid] = bin_index
+        for server, rows, bins in zip(self.servers, per_server_rows, per_server_bins):
+            server.store_non_sensitive(non_sensitive)
+            server.store_sensitive(rows, scheme, bin_assignment=bins or None)
+            server.build_index(attribute)
+
+    def append_sensitive_sharded(
+        self,
+        encrypted_rows: Sequence[EncryptedRow],
+        bin_assignment: Mapping[int, int],
+        router: ShardRouter,
+    ) -> None:
+        """Route freshly inserted ciphertexts to the members owning their bins."""
+        per_server_rows: List[List[EncryptedRow]] = [[] for _ in self.servers]
+        per_server_bins: List[Dict[int, int]] = [{} for _ in self.servers]
+        for row in encrypted_rows:
+            bin_index = bin_assignment.get(row.rid)
+            shard = 0 if bin_index is None else router.shard_of_sensitive(bin_index)
+            per_server_rows[shard].append(row)
+            if bin_index is not None:
+                per_server_bins[shard][row.rid] = bin_index
+        for server, rows, bins in zip(self.servers, per_server_rows, per_server_bins):
+            if rows:
+                server.append_sensitive(rows, bin_assignment=bins)
+
+    def register_non_sensitive_row(self, row: Row) -> None:
+        """Account for a cleartext row inserted into the shared relation."""
+        for server in self.servers:
+            server.register_non_sensitive_row(row)
+
     # -- querying --------------------------------------------------------------------
     def fan_out(
         self,
         attribute: str,
         cleartext_values: Sequence[object],
         per_server_tokens: Sequence[Sequence[SearchToken]],
+        sensitive_bin_index: Optional[int] = None,
+        non_sensitive_bin_index: Optional[int] = None,
     ) -> List[QueryResponse]:
         """Send (possibly different) token sets to each server.
 
         The cleartext half of the request is only sent to the first server to
-        avoid double-charging communication for public data.
+        avoid double-charging communication for public data.  Each server's
+        slice is served through :meth:`CloudServer.process_batch` — the same
+        code path as batched and sharded execution — so network and
+        statistics charging can never diverge between the fan-out and batch
+        APIs.
         """
         if len(per_server_tokens) != len(self.servers):
             raise CloudError(
@@ -73,9 +324,146 @@ class MultiCloud:
             )
         responses = []
         for position, (server, tokens) in enumerate(zip(self.servers, per_server_tokens)):
-            values = cleartext_values if position == 0 else ()
-            responses.append(server.process_request(attribute, values, tokens))
+            request = BatchRequest(
+                attribute=attribute,
+                cleartext_values=tuple(cleartext_values) if position == 0 else (),
+                tokens=tuple(tokens),
+                sensitive_bin_index=sensitive_bin_index,
+                non_sensitive_bin_index=(
+                    non_sensitive_bin_index if position == 0 else None
+                ),
+            )
+            responses.append(server.process_batch([request])[0])
         return responses
+
+    def split_requests(
+        self, requests: Sequence[BatchRequest], router: ShardRouter
+    ) -> Tuple[List[List[BatchRequest]], List[Tuple[HalfPlacement, HalfPlacement]]]:
+        """Split a batch into per-member batches of request halves.
+
+        Returns the per-member request lists plus, per input request, the
+        placement of its two halves: ``((server, position), (server,
+        position))`` with ``None`` for a half the request does not carry.
+        Placements are what lets the merge step — and the parity tests — map
+        per-member responses and views back onto the original request order.
+        """
+        if router.num_shards != len(self.servers):
+            raise CloudError(
+                f"router was built for {router.num_shards} shards, fleet has "
+                f"{len(self.servers)}; resize with router.rebalanced() and "
+                "re-outsource (bin slices do not migrate on their own)"
+            )
+        per_server: List[List[BatchRequest]] = [[] for _ in self.servers]
+        placements: List[Tuple[HalfPlacement, HalfPlacement]] = []
+        for request in requests:
+            sensitive_shard, non_sensitive_shard = router.route(request)
+            sensitive_placement: HalfPlacement = None
+            if sensitive_shard is not None:
+                batch = per_server[sensitive_shard]
+                sensitive_placement = (sensitive_shard, len(batch))
+                batch.append(request.sensitive_half())
+            non_sensitive_placement: HalfPlacement = None
+            if non_sensitive_shard is not None:
+                batch = per_server[non_sensitive_shard]
+                non_sensitive_placement = (non_sensitive_shard, len(batch))
+                batch.append(request.non_sensitive_half())
+            placements.append((sensitive_placement, non_sensitive_placement))
+        return per_server, placements
+
+    def process_batch(
+        self,
+        requests: Sequence[BatchRequest],
+        router: ShardRouter,
+        max_workers: Optional[int] = None,
+        response_consumer: Optional[
+            Callable[[BatchRequest, QueryResponse], None]
+        ] = None,
+    ) -> List[QueryResponse]:
+        """Serve a batch across the fleet concurrently; responses in input order.
+
+        Each request is split into its sensitive and cleartext halves, the
+        halves are routed by ``router``, and every member serves its slice
+        through its own :meth:`CloudServer.process_batch` (keeping the
+        per-member dedup, view, and accounting semantics) on a worker thread.
+        ``response_consumer`` — when given — is invoked in the calling thread
+        with each (half request, response) pair as soon as its member
+        finishes, so the owner can decrypt one member's results while the
+        others are still searching.
+
+        The merged response for a request stitches its halves back together;
+        the encrypted row list of the sensitive half is passed through *by
+        identity*, so deduplicated retrievals stay shared and the owner can
+        key decryption caches on it exactly as in the single-server batch
+        path.
+        """
+        per_server, placements = self.split_requests(requests, router)
+        per_server_responses: List[List[QueryResponse]] = [[] for _ in self.servers]
+        workers = max_workers or len(self.servers)
+        # Members share one scheme object; schemes whose search() mutates
+        # internal work counters declare themselves concurrency-unsafe and
+        # get served one member at a time (correct counters over overlap).
+        if any(
+            server.scheme is not None and not server.scheme.concurrent_search_safe
+            for server in self.servers
+        ):
+            workers = 1
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            futures = {
+                pool.submit(self.servers[index].process_batch, batch): index
+                for index, batch in enumerate(per_server)
+                if batch
+            }
+            for future in as_completed(futures):
+                index = futures[future]
+                responses = future.result()
+                per_server_responses[index] = responses
+                if response_consumer is not None:
+                    for request, response in zip(per_server[index], responses):
+                        response_consumer(request, response)
+
+        merged: List[QueryResponse] = []
+        for sensitive_placement, non_sensitive_placement in placements:
+            sensitive_response: Optional[QueryResponse] = None
+            if sensitive_placement is not None:
+                server_index, position = sensitive_placement
+                sensitive_response = per_server_responses[server_index][position]
+            non_sensitive_response: Optional[QueryResponse] = None
+            if non_sensitive_placement is not None:
+                server_index, position = non_sensitive_placement
+                non_sensitive_response = per_server_responses[server_index][position]
+            merged.append(
+                QueryResponse(
+                    non_sensitive_rows=(
+                        non_sensitive_response.non_sensitive_rows
+                        if non_sensitive_response is not None
+                        else []
+                    ),
+                    encrypted_rows=(
+                        sensitive_response.encrypted_rows
+                        if sensitive_response is not None
+                        else []
+                    ),
+                    non_sensitive_scanned=(
+                        non_sensitive_response.non_sensitive_scanned
+                        if non_sensitive_response is not None
+                        else 0
+                    ),
+                    sensitive_scanned=(
+                        sensitive_response.sensitive_scanned
+                        if sensitive_response is not None
+                        else 0
+                    ),
+                    transfer_seconds=(
+                        (sensitive_response.transfer_seconds if sensitive_response else 0.0)
+                        + (
+                            non_sensitive_response.transfer_seconds
+                            if non_sensitive_response
+                            else 0.0
+                        )
+                    ),
+                )
+            )
+        return merged
 
     # -- adversarial analysis -----------------------------------------------------------
     def single_server_view_sizes(self) -> Dict[str, int]:
@@ -84,3 +472,18 @@ class MultiCloud:
 
     def total_transfer_seconds(self) -> float:
         return sum(server.network.total_seconds() for server in self.servers)
+
+    def total_transfer_tuples(self, direction: Optional[str] = None) -> int:
+        """Tuples moved fleet-wide (parity comparisons vs. a single server)."""
+        return sum(
+            server.network.total_tuples(direction) for server in self.servers
+        )
+
+    def aggregate_stat(self, field_name: str) -> int:
+        """Sum one :class:`CloudStatistics` counter across the fleet."""
+        return sum(getattr(server.stats, field_name) for server in self.servers)
+
+    def reset_observations(self) -> None:
+        """Clear every member's views and counters (between experiments)."""
+        for server in self.servers:
+            server.reset_observations()

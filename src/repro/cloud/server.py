@@ -90,6 +90,43 @@ class BatchRequest:
     sensitive_bin_index: Optional[int] = None
     non_sensitive_bin_index: Optional[int] = None
 
+    # -- sharded execution protocol ------------------------------------------
+    #
+    # Multi-cloud placement never ships a whole request to one server: the
+    # encrypted half and the cleartext half are served by *different*
+    # members, so no single server's view associates a sensitive bin with a
+    # non-sensitive bin.  Each half deliberately drops the other side's bin
+    # annotation — a server that never receives the other half has no way to
+    # reconstruct it, and the recorded views must reflect that.
+
+    @property
+    def has_sensitive_half(self) -> bool:
+        return bool(self.tokens)
+
+    @property
+    def has_non_sensitive_half(self) -> bool:
+        return bool(self.cleartext_values)
+
+    def sensitive_half(self) -> "BatchRequest":
+        """The token half as shipped to the server owning the sensitive bin."""
+        return BatchRequest(
+            attribute=self.attribute,
+            cleartext_values=(),
+            tokens=self.tokens,
+            sensitive_bin_index=self.sensitive_bin_index,
+            non_sensitive_bin_index=None,
+        )
+
+    def non_sensitive_half(self) -> "BatchRequest":
+        """The cleartext half as shipped to a non-colluding second server."""
+        return BatchRequest(
+            attribute=self.attribute,
+            cleartext_values=self.cleartext_values,
+            tokens=(),
+            sensitive_bin_index=None,
+            non_sensitive_bin_index=self.non_sensitive_bin_index,
+        )
+
 
 class CloudServer:
     """An honest-but-curious cloud hosting one partitioned relation."""
@@ -235,6 +272,11 @@ class CloudServer:
     @property
     def encrypted_row_count(self) -> int:
         return len(self._encrypted_rows)
+
+    @property
+    def scheme(self) -> Optional[EncryptedSearchScheme]:
+        """The outsourced scheme's cloud-side logic (``None`` before setup)."""
+        return self._scheme
 
     @property
     def stored_encrypted_rows(self) -> Tuple[EncryptedRow, ...]:

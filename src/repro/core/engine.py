@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.cloud.multi_cloud import MultiCloud, ShardRouter
 from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
 from repro.core.binning import create_bins, layout_covers_all_bin_pairs
 from repro.core.bins import BinLayout
@@ -197,6 +198,17 @@ class QueryBinningEngine(_PartitionedEngineBase):
         reproducible benchmarks.
     force_strategy / force_layout:
         Overrides forwarded to the planner (used by the Figure 6c sweep).
+    multi_cloud / shard_policy / shard_max_workers:
+        Attaching a :class:`MultiCloud` makes ``setup()`` additionally shard
+        the encrypted relation across its members (bins assigned by a
+        :class:`ShardRouter` under ``shard_policy``) and unlocks
+        ``execute_workload(..., placement="sharded")``, which fans request
+        halves out to the fleet concurrently.  The single ``cloud`` server
+        stays fully populated either way — it is the sequential reference
+        the parity tests compare the fleet against.
+    plaintext_cache_bins:
+        How many sensitive bins' decrypted rows the owner may keep (FIFO
+        eviction; ``None`` = unbounded, ``0`` disables the cache).
     """
 
     def __init__(
@@ -210,9 +222,17 @@ class QueryBinningEngine(_PartitionedEngineBase):
         permutation_seed: Optional[int] = None,
         force_strategy: Optional[str] = None,
         force_layout: Optional[Tuple[int, int]] = None,
+        multi_cloud: Optional[MultiCloud] = None,
+        shard_policy: str = "hash",
+        shard_max_workers: Optional[int] = None,
+        plaintext_cache_bins: Optional[int] = 1024,
     ):
         super().__init__(partition, attribute, scheme, cloud)
         self.add_fake_tuples = add_fake_tuples
+        self.multi_cloud = multi_cloud
+        self.shard_policy = shard_policy
+        self.shard_max_workers = shard_max_workers
+        self.shard_router: Optional[ShardRouter] = None
         self._rng = rng if rng is not None else (
             random.Random(permutation_seed) if permutation_seed is not None else None
         )
@@ -228,6 +248,17 @@ class QueryBinningEngine(_PartitionedEngineBase):
         # tokens_for_values per query is pure waste.  Invalidated whenever
         # the scheme's owner metadata can change (setup, sensitive inserts).
         self._token_cache: Dict[int, List] = {}
+        # Owner-side cache of *decrypted* rows per sensitive bin, the
+        # retrieval-side twin of the token cache: a bin's padded ciphertext
+        # set is immutable between sensitive inserts, so every retrieval of
+        # bin ``i`` decrypts to the same plaintext rows.  Keeping them makes
+        # steady-state workload cost scan-bound (the part sharding divides)
+        # instead of decryption-bound.  Same invalidation events as the
+        # token cache.  The owner deliberately trades memory for CPU here;
+        # ``plaintext_cache_bins`` caps how many bins' plaintexts it will
+        # hold (FIFO eviction; ``None`` = unbounded).
+        self._decrypted_bin_cache: Dict[int, List[Row]] = {}
+        self._plaintext_cache_bins = plaintext_cache_bins
 
     def _wants_bin_store(self) -> bool:
         """Whether the cloud will use a bin-addressed store for this engine.
@@ -270,10 +301,12 @@ class QueryBinningEngine(_PartitionedEngineBase):
         self.retriever = BinRetriever(self.layout)
 
         encrypted = self._encrypt_sensitive_rows()
-        # The bin assignment only feeds the cloud's bin-addressed store —
-        # skip the O(n) pass when the cloud would discard it.
+        # The bin assignment feeds the cloud's bin-addressed store and the
+        # shard router's row placement — skip the O(n) pass when neither
+        # consumer is attached.
+        needs_bin_assignment = self._wants_bin_store() or self.multi_cloud is not None
         bin_assignment: Optional[Dict[int, int]] = (
-            {} if self._wants_bin_store() else None
+            {} if needs_bin_assignment else None
         )
         if bin_assignment is not None:
             for row in self.partition.sensitive.rows:
@@ -289,9 +322,30 @@ class QueryBinningEngine(_PartitionedEngineBase):
             encrypted = encrypted + fakes
 
         self.cloud.store_non_sensitive(self.partition.non_sensitive)
-        self.cloud.store_sensitive(encrypted, self.scheme, bin_assignment=bin_assignment)
+        self.cloud.store_sensitive(
+            encrypted,
+            self.scheme,
+            bin_assignment=bin_assignment if self._wants_bin_store() else None,
+        )
         self.cloud.build_index(self.attribute)
+        if self.multi_cloud is not None:
+            assert bin_assignment is not None
+            self.shard_router = ShardRouter(
+                self.layout.num_sensitive_bins,
+                self.layout.num_non_sensitive_bins,
+                len(self.multi_cloud),
+                policy=self.shard_policy,
+            )
+            self.multi_cloud.outsource_sharded(
+                self.attribute,
+                self.partition.non_sensitive,
+                encrypted,
+                self.scheme,
+                bin_assignment,
+                self.shard_router,
+            )
         self._token_cache.clear()
+        self._decrypted_bin_cache.clear()
         self._outsourced = True
         return self
 
@@ -357,8 +411,33 @@ class QueryBinningEngine(_PartitionedEngineBase):
             sensitive_bin_index=decision.sensitive_bin_index,
             non_sensitive_bin_index=decision.non_sensitive_bin_index,
         )
-        rows = self._decrypt_and_merge(query, response)
+        sensitive_rows = self._decrypt_bin(
+            decision.sensitive_bin_index, response.encrypted_rows
+        )
+        rows = merge_results(query, sensitive_rows, response.non_sensitive_rows)
         return rows, self._trace_for(query, decision, response, len(rows))
+
+    def _decrypt_bin(
+        self, sensitive_bin_index: Optional[int], encrypted_rows: Sequence[EncryptedRow]
+    ) -> List[Row]:
+        """Decrypt one retrieval's rows through the per-bin plaintext cache.
+
+        A sensitive bin's (padded) ciphertext set is fixed between sensitive
+        inserts, so its decryption is computed once and reused by every
+        later retrieval of the bin, whichever placement served it.
+        """
+        if sensitive_bin_index is None:
+            return self.scheme.decrypt_rows(encrypted_rows)
+        rows = self._decrypted_bin_cache.get(sensitive_bin_index)
+        if rows is None:
+            rows = self.scheme.decrypt_rows(encrypted_rows)
+            cap = self._plaintext_cache_bins
+            if cap is not None and len(self._decrypted_bin_cache) >= cap > 0:
+                # FIFO: dicts iterate in insertion order.
+                self._decrypted_bin_cache.pop(next(iter(self._decrypted_bin_cache)))
+            if cap is None or cap > 0:
+                self._decrypted_bin_cache[sensitive_bin_index] = rows
+        return rows
 
     def tokens_for_decision(self, decision: RetrievalDecision) -> List:
         """Search tokens for a retrieval decision, cached per sensitive bin.
@@ -413,44 +492,121 @@ class QueryBinningEngine(_PartitionedEngineBase):
         return requests, slots
 
     def execute_workload(
-        self, values: Iterable[object], batched: bool = True
+        self,
+        values: Iterable[object],
+        batched: bool = True,
+        placement: Optional[str] = None,
     ) -> List[ExecutionTrace]:
         """Run a sequence of selection queries; returns their traces.
 
-        The default batched fast path rewrites the whole workload first, then
-        serves it through :meth:`CloudServer.process_batch`, which computes
-        each distinct bin-pair retrieval once; decryption is likewise shared
-        between queries answered from the same retrieval.  Traces, views, and
-        statistics are identical to sequential execution (``batched=False``);
-        use ``batched=False`` when *timing* individual queries, since
-        deduplication compresses wall-clock per-query cost.
+        ``placement`` selects the execution strategy (it supersedes the
+        legacy ``batched`` flag, which maps to ``"batched"``/``"sequential"``
+        when ``placement`` is omitted):
+
+        ``"sequential"``
+            one :meth:`CloudServer.process_request` per query — the
+            reference semantics; use it when timing individual queries.
+        ``"batched"``
+            the whole workload through :meth:`CloudServer.process_batch`,
+            computing each distinct bin-pair retrieval once.
+        ``"sharded"``
+            the workload fanned out across the attached :class:`MultiCloud`:
+            request halves are routed to non-colluding members by the
+            :class:`ShardRouter` and served concurrently, and owner-side
+            decryption of finished members overlaps the remaining members'
+            searches.
+
+        Traces, per-query results, adversarial views, and statistics are
+        strategy-invariant (the parity suite pins this); only wall-clock
+        work placement differs.  Sharded execution contacts two servers per
+        query, so each trace carries one extra round-trip latency in
+        ``transfer_seconds`` — tuple transfer counts are identical.
         """
-        if not batched:
-            return [self.query_with_trace(value)[1] for value in values]
+        return [trace for _rows, trace in self._run_workload(values, batched, placement)]
+
+    def execute_workload_with_rows(
+        self,
+        values: Iterable[object],
+        batched: bool = True,
+        placement: Optional[str] = None,
+    ) -> List[Tuple[List[Row], ExecutionTrace]]:
+        """Like :meth:`execute_workload`, also returning each query's rows.
+
+        The parity test harness uses this to assert result equality across
+        placements without issuing extra (view-recording) queries.
+        """
+        return self._run_workload(values, batched, placement)
+
+    def _run_workload(
+        self,
+        values: Iterable[object],
+        batched: bool,
+        placement: Optional[str],
+    ) -> List[Tuple[List[Row], ExecutionTrace]]:
+        if placement is None:
+            placement = "batched" if batched else "sequential"
+        if placement == "sequential":
+            return [self.query_with_trace(value) for value in values]
+        if placement not in ("batched", "sharded"):
+            raise ConfigurationError(
+                f"unknown placement {placement!r}; choose from "
+                "'sequential', 'batched', 'sharded'"
+            )
         values = list(values)
         requests, slots = self.build_requests(values)
-        responses = self.cloud.process_batch(requests)
-
-        traces: List[ExecutionTrace] = []
         decrypted_cache: Dict[int, List[Row]] = {}
+        if placement == "sharded":
+            if self.multi_cloud is None or self.shard_router is None:
+                raise ConfigurationError(
+                    "sharded placement requires a MultiCloud attached at "
+                    "construction (and setup() run since)"
+                )
+
+            def decrypt_early(request: BatchRequest, response: QueryResponse) -> None:
+                # Runs in the coordinating thread as each member completes,
+                # overlapping owner-side decryption with the searches still
+                # in flight on other members.  Keyed by list identity so
+                # deduplicated retrievals decrypt once, exactly as below;
+                # routed through the per-bin plaintext cache so warm bins
+                # skip decryption entirely.
+                if response.encrypted_rows:
+                    cache_key = id(response.encrypted_rows)
+                    if cache_key not in decrypted_cache:
+                        decrypted_cache[cache_key] = self._decrypt_bin(
+                            request.sensitive_bin_index, response.encrypted_rows
+                        )
+
+            responses = self.multi_cloud.process_batch(
+                requests,
+                self.shard_router,
+                max_workers=self.shard_max_workers,
+                response_consumer=decrypt_early,
+            )
+        else:
+            responses = self.cloud.process_batch(requests)
+
+        results: List[Tuple[List[Row], ExecutionTrace]] = []
         response_index = 0
         for value, decision in zip(values, slots):
             query = SelectionQuery(self.attribute, value)
             if decision is None:
-                traces.append(self._empty_trace(query))
+                results.append(([], self._empty_trace(query)))
                 continue
             response = responses[response_index]
             response_index += 1
             # Deduplicated responses share their encrypted row list, so one
-            # decryption pass serves every query answered from that retrieval.
+            # decryption pass serves every query answered from that retrieval
+            # (and the per-bin plaintext cache carries it across workloads).
             cache_key = id(response.encrypted_rows)
             sensitive_rows = decrypted_cache.get(cache_key)
             if sensitive_rows is None:
-                sensitive_rows = self.scheme.decrypt_rows(response.encrypted_rows)
+                sensitive_rows = self._decrypt_bin(
+                    decision.sensitive_bin_index, response.encrypted_rows
+                )
                 decrypted_cache[cache_key] = sensitive_rows
             rows = merge_results(query, sensitive_rows, response.non_sensitive_rows)
-            traces.append(self._trace_for(query, decision, response, len(rows)))
-        return traces
+            results.append((rows, self._trace_for(query, decision, response, len(rows))))
+        return results
 
     # -- introspection ----------------------------------------------------------------
     def insert(self, values: Dict[str, object], sensitive: bool) -> None:
@@ -468,14 +624,24 @@ class QueryBinningEngine(_PartitionedEngineBase):
             )
             encrypted = self.scheme.encrypt_rows([row], self.attribute)
             bin_assignment: Dict[int, int] = {}
-            if self._wants_bin_store() and self.layout is not None:
+            needs_bin = self._wants_bin_store() or self.multi_cloud is not None
+            if needs_bin and self.layout is not None:
                 location = self.layout.locate_sensitive(values[self.attribute])
                 if location is not None:
                     bin_assignment[rid] = location[0]
-            self.cloud.append_sensitive(encrypted, bin_assignment=bin_assignment)
+            self.cloud.append_sensitive(
+                encrypted,
+                bin_assignment=bin_assignment if self._wants_bin_store() else {},
+            )
+            if self.multi_cloud is not None and self.shard_router is not None:
+                self.multi_cloud.append_sensitive_sharded(
+                    encrypted, bin_assignment, self.shard_router
+                )
             # Owner metadata changed (address books, occurrence counters):
-            # cached per-bin tokens may now be stale.
+            # cached per-bin tokens — and the bin's cached plaintexts — may
+            # now be stale.
             self._token_cache.clear()
+            self._decrypted_bin_cache.clear()
             assert self.metadata is not None
             counts = self.metadata.sensitive_counts
             counts[values[self.attribute]] = counts.get(values[self.attribute], 0) + 1
@@ -486,6 +652,8 @@ class QueryBinningEngine(_PartitionedEngineBase):
             # The cloud stores the same relation object, so only its indexes
             # and transfer accounting need refreshing.
             self.cloud.register_non_sensitive_row(row)
+            if self.multi_cloud is not None:
+                self.multi_cloud.register_non_sensitive_row(row)
             assert self.metadata is not None
             counts = self.metadata.non_sensitive_counts
             counts[values[self.attribute]] = counts.get(values[self.attribute], 0) + 1

@@ -39,6 +39,19 @@ class RetrievalDecision:
     def retrieves_anything(self) -> bool:
         return self.rule != "none"
 
+    @property
+    def bin_pair(self) -> Optional[Tuple[int, int]]:
+        """The (sensitive bin, non-sensitive bin) pair this decision fetches,
+        or ``None`` when nothing is retrieved.
+
+        This pair is what the adversary reconstructs by grouping identical
+        requests (see :meth:`BinRetriever.associated_bin_pairs`) and what
+        shard routing must never co-locate on one fleet member.
+        """
+        if not self.retrieves_anything:
+            return None
+        return (self.sensitive_bin_index, self.non_sensitive_bin_index)
+
 
 class BinRetriever:
     """Owner-side implementation of Algorithm 2 over a fixed layout.
@@ -147,8 +160,8 @@ class BinRetriever:
         """
         pairs: Dict[Tuple[int, int], List[object]] = {}
         for decision in self.all_decisions():
-            if not decision.retrieves_anything:
+            key = decision.bin_pair
+            if key is None:
                 continue
-            key = (decision.sensitive_bin_index, decision.non_sensitive_bin_index)
             pairs.setdefault(key, []).append(decision.query_value)
         return pairs

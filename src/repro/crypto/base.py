@@ -119,6 +119,15 @@ class EncryptedSearchScheme(abc.ABC):
     #: testing) leave this False and rely on the bin-addressed store.
     supports_tag_index: bool = False
 
+    #: True when the cloud-side matching path (``search`` /
+    #: ``indexed_search``) touches no shared mutable state, so several cloud
+    #: servers holding the *same* scheme object may search concurrently
+    #: (sharded multi-cloud execution).  Schemes that mutate work counters
+    #: inside ``search`` (e.g. Paillier's ``homomorphic_ops``) must set this
+    #: False; the fleet then serialises member searches instead of losing
+    #: increments to the non-atomic ``+=``.
+    concurrent_search_safe: bool = True
+
     @property
     @abc.abstractmethod
     def leakage(self) -> LeakageProfile:

@@ -164,6 +164,9 @@ class PaillierScheme(EncryptedSearchScheme):
     """
 
     name = "paillier"
+    # search() increments homomorphic_ops — not safe to run from several
+    # cloud servers sharing this object at once.
+    concurrent_search_safe = False
 
     def __init__(self, keypair: PaillierKeyPair | None = None, key: SecretKey | None = None):
         self._keypair = keypair or PaillierKeyPair.generate(bits=256)

@@ -148,6 +148,9 @@ class SecretSharingScheme(EncryptedSearchScheme):
     """
 
     name = "secret-sharing"
+    # search() increments scan_count — not safe to run from several cloud
+    # servers sharing this object at once.
+    concurrent_search_safe = False
 
     def __init__(
         self,

@@ -92,8 +92,16 @@ class IncrementalInserter:
         self.rebin()
 
     def rebin(self) -> None:
-        """Rebuild bins from the engine's current partition and re-outsource."""
+        """Rebuild bins from the engine's current partition and re-outsource.
+
+        Observation logs are cleared on every store the engine re-outsources
+        to — the single reference server and, when attached, the whole
+        sharded fleet — so the fleet-vs-reference parity invariants hold
+        across a rebin exactly as they do from a fresh setup.
+        """
         self.engine.cloud.reset_observations()
+        if self.engine.multi_cloud is not None:
+            self.engine.multi_cloud.reset_observations()
         self.engine.setup()
         self.stats.rebins_triggered += 1
         self._new_values_since_rebin = 0

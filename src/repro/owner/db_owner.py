@@ -27,6 +27,7 @@ import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.adversary.auditor import PartitionedSecurityAuditor, SecurityReport
+from repro.cloud.multi_cloud import MultiCloud
 from repro.cloud.server import CloudServer
 from repro.core.engine import ExecutionTrace, QueryBinningEngine
 from repro.crypto.base import EncryptedSearchScheme
@@ -50,16 +51,29 @@ class DBOwner:
         scheme_factory: Optional[SchemeFactory] = None,
         cloud: Optional[CloudServer] = None,
         permutation_seed: Optional[int] = None,
+        num_clouds: Optional[int] = None,
+        shard_policy: str = "hash",
+        shard_max_workers: Optional[int] = None,
     ):
+        """``num_clouds`` (≥2) outsources every attribute to a sharded
+        :class:`MultiCloud` fleet of that size in addition to the reference
+        server, unlocking ``execute_workload(..., placement="sharded")``;
+        ``shard_policy`` picks how bins map to members (``"hash"`` or
+        ``"range"``) and ``shard_max_workers`` bounds the fleet's service
+        threads (default: one per member)."""
         self.relation = relation
         self.policy = policy
         self.keystore = keystore or KeyStore()
         self.cloud = cloud or CloudServer()
         self._scheme_factory = scheme_factory
         self._permutation_seed = permutation_seed
+        self._num_clouds = num_clouds
+        self._shard_policy = shard_policy
+        self._shard_max_workers = shard_max_workers
         self.partition: PartitionResult = partition_relation(relation, policy)
         self._engines: Dict[str, QueryBinningEngine] = {}
         self._schemes: Dict[str, EncryptedSearchScheme] = {}
+        self._multi_clouds: Dict[str, MultiCloud] = {}
 
     # -- setup ------------------------------------------------------------------
     def _make_scheme(self, attribute: str) -> EncryptedSearchScheme:
@@ -93,6 +107,19 @@ class DBOwner:
         attribute_cloud = self.cloud if not self._engines else CloudServer(
             name=f"{self.cloud.name}/{attribute}"
         )
+        # Each attribute likewise gets its own fleet: sharding is a function
+        # of the attribute's bin layout, so fleets cannot be shared.  Members
+        # mirror the reference server's index configuration so fleet and
+        # reference serve requests through the same search paths.
+        multi_cloud = (
+            MultiCloud(
+                self._num_clouds,
+                use_indexes=attribute_cloud.use_indexes,
+                use_encrypted_indexes=attribute_cloud.use_encrypted_indexes,
+            )
+            if self._num_clouds is not None
+            else None
+        )
         engine = QueryBinningEngine(
             partition=self.partition,
             attribute=attribute,
@@ -100,10 +127,15 @@ class DBOwner:
             cloud=attribute_cloud,
             add_fake_tuples=add_fake_tuples,
             rng=rng,
+            multi_cloud=multi_cloud,
+            shard_policy=self._shard_policy,
+            shard_max_workers=self._shard_max_workers,
         )
         engine.setup()
         self._engines[attribute] = engine
         self._schemes[attribute] = chosen_scheme
+        if multi_cloud is not None:
+            self._multi_clouds[attribute] = multi_cloud
         return engine
 
     def engine_for(self, attribute: str) -> QueryBinningEngine:
@@ -125,12 +157,30 @@ class DBOwner:
         return self.engine_for(attribute).query_with_trace(value)
 
     def execute_workload(
-        self, attribute: str, values: Iterable[object], batched: bool = True
+        self,
+        attribute: str,
+        values: Iterable[object],
+        batched: bool = True,
+        placement: Optional[str] = None,
     ) -> List[ExecutionTrace]:
         """Run a workload; ``batched=False`` forces per-query execution
         (identical observables, but no cross-query retrieval deduplication —
-        use it when timing individual queries)."""
-        return self.engine_for(attribute).execute_workload(values, batched=batched)
+        use it when timing individual queries).  ``placement="sharded"``
+        fans the workload out across the attribute's :class:`MultiCloud`
+        fleet (requires ``num_clouds`` at construction)."""
+        return self.engine_for(attribute).execute_workload(
+            values, batched=batched, placement=placement
+        )
+
+    def multi_cloud_for(self, attribute: str) -> MultiCloud:
+        """The sharded fleet serving ``attribute`` (requires ``num_clouds``)."""
+        try:
+            return self._multi_clouds[attribute]
+        except KeyError:
+            raise ConfigurationError(
+                f"attribute {attribute!r} has no sharded fleet; construct the "
+                "owner with num_clouds >= 2 and outsource the attribute first"
+            ) from None
 
     def insert(self, values: Dict[str, object]) -> None:
         """Insert a new row, classifying it under the owner's policy."""

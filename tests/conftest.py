@@ -3,11 +3,15 @@
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import pytest
 
+from repro.adversary.view import AdversarialView
+from repro.cloud.multi_cloud import MultiCloud
 from repro.cloud.server import CloudServer
-from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
+from repro.core.engine import ExecutionTrace, NaivePartitionedEngine, QueryBinningEngine
 from repro.crypto.nondeterministic import NonDeterministicScheme
 from repro.crypto.primitives import SecretKey
 from repro.data.partition import partition_relation
@@ -98,3 +102,287 @@ def qb_employee_engine(employee_split):
         rng=random.Random(11),
     )
     return engine.setup()
+
+
+# -- cross-strategy execution parity harness -----------------------------------
+#
+# The repo's core security claim is that every execution strategy — one
+# request at a time, batched on one server, or sharded across a fleet —
+# produces bit-identical results and adversarial observables.  The harness
+# below is the reusable machinery for asserting that: any future execution
+# strategy gets parity coverage by adding one ``run()`` call, not a new test
+# file.
+
+
+@dataclass
+class StrategyRun:
+    """Everything one execution strategy produced for one workload."""
+
+    placement: str
+    engine: QueryBinningEngine
+    #: sorted result rids, one list per workload query
+    result_rids: List[List[int]]
+    traces: List[ExecutionTrace]
+
+    @property
+    def cloud(self) -> CloudServer:
+        return self.engine.cloud
+
+    @property
+    def fleet(self) -> Optional[MultiCloud]:
+        return self.engine.multi_cloud
+
+
+class ExecutionParityHarness:
+    """Runs one workload under several placements and compares observables.
+
+    Engines are built over the *same* dataset with the *same* permutation
+    seed and key, so their bin layouts are identical and any divergence in
+    results, views, or statistics is attributable to the execution strategy
+    under test.
+    """
+
+    PLACEMENTS: Tuple[str, ...] = ("sequential", "batched", "sharded")
+
+    def __init__(
+        self,
+        dataset,
+        scheme_factory: Callable[..., object],
+        num_shards: int = 3,
+        shard_policy: str = "hash",
+        use_encrypted_indexes: bool = True,
+        permutation_seed: int = 17,
+        key_phrase: str = "parity-key",
+    ):
+        self.dataset = dataset
+        self.scheme_factory = scheme_factory
+        self.num_shards = num_shards
+        self.shard_policy = shard_policy
+        self.use_encrypted_indexes = use_encrypted_indexes
+        self.permutation_seed = permutation_seed
+        self.key_phrase = key_phrase
+
+    # -- construction --------------------------------------------------------
+    def make_engine(self, sharded: bool = False) -> QueryBinningEngine:
+        engine = QueryBinningEngine(
+            partition=self.dataset.partition,
+            attribute=self.dataset.attribute,
+            scheme=self.scheme_factory(SecretKey.from_passphrase(self.key_phrase)),
+            cloud=CloudServer(use_encrypted_indexes=self.use_encrypted_indexes),
+            rng=random.Random(self.permutation_seed),
+            multi_cloud=(
+                MultiCloud(
+                    self.num_shards,
+                    use_encrypted_indexes=self.use_encrypted_indexes,
+                )
+                if sharded
+                else None
+            ),
+            shard_policy=self.shard_policy,
+        )
+        return engine.setup()
+
+    def workload(self, repeats: int = 2, seed: int = 41) -> List[object]:
+        values = list(self.dataset.all_values) * repeats
+        random.Random(seed).shuffle(values)
+        return values
+
+    # -- execution -----------------------------------------------------------
+    def run(self, placement: str, workload: Sequence[object]) -> StrategyRun:
+        engine = self.make_engine(sharded=(placement == "sharded"))
+        outcome = engine.execute_workload_with_rows(workload, placement=placement)
+        return StrategyRun(
+            placement=placement,
+            engine=engine,
+            result_rids=[sorted(row.rid for row in rows) for rows, _trace in outcome],
+            traces=[trace for _rows, trace in outcome],
+        )
+
+    def run_all(
+        self, workload: Optional[Sequence[object]] = None
+    ) -> Dict[str, StrategyRun]:
+        workload = list(workload) if workload is not None else self.workload()
+        return {placement: self.run(placement, workload) for placement in self.PLACEMENTS}
+
+    # -- per-query view reconstruction ---------------------------------------
+    def sharded_view_pairs(
+        self, run: StrategyRun, workload: Sequence[object]
+    ) -> List[Tuple[Optional[AdversarialView], Optional[AdversarialView]]]:
+        """(sensitive-half view, cleartext-half view) per retrieving query.
+
+        Rebuilds the request stream (a pure owner-side computation) and
+        replays the router's placement plan to look each half's view up in
+        the per-server logs — the same mapping the merge step uses for
+        responses, applied to views.
+        """
+        assert run.fleet is not None and run.engine.shard_router is not None
+        requests, _slots = run.engine.build_requests(list(workload))
+        _batches, placements = run.fleet.split_requests(
+            requests, run.engine.shard_router
+        )
+        pairs = []
+        for sensitive_placement, non_sensitive_placement in placements:
+            sensitive_view = None
+            if sensitive_placement is not None:
+                server_index, position = sensitive_placement
+                sensitive_view = run.fleet[server_index].view_log.views[position]
+            non_sensitive_view = None
+            if non_sensitive_placement is not None:
+                server_index, position = non_sensitive_placement
+                non_sensitive_view = run.fleet[server_index].view_log.views[position]
+            pairs.append((sensitive_view, non_sensitive_view))
+        return pairs
+
+    # -- assertions ----------------------------------------------------------
+    def assert_identical_results(self, runs: Dict[str, StrategyRun]) -> None:
+        reference = runs["sequential"]
+        for placement, run in runs.items():
+            assert run.result_rids == reference.result_rids, (
+                f"{placement} returned different rows than sequential"
+            )
+
+    def assert_identical_traces(self, runs: Dict[str, StrategyRun]) -> None:
+        """Traces match field-for-field; sharded transfer adds exactly the
+        second server's round-trip latency (tuple counts stay identical)."""
+        reference = runs["sequential"]
+        for placement, run in runs.items():
+            assert len(run.traces) == len(reference.traces)
+            for ours, theirs in zip(run.traces, reference.traces):
+                assert ours.query == theirs.query
+                assert ours.binned == theirs.binned
+                assert ours.sensitive_values_requested == theirs.sensitive_values_requested
+                assert (
+                    ours.non_sensitive_values_requested
+                    == theirs.non_sensitive_values_requested
+                )
+                assert ours.encrypted_rows_returned == theirs.encrypted_rows_returned
+                assert (
+                    ours.non_sensitive_rows_returned == theirs.non_sensitive_rows_returned
+                )
+                assert ours.rows_after_merge == theirs.rows_after_merge
+                if placement == "sharded" and ours.binned is not None:
+                    latency = run.cloud.network.latency_seconds
+                    assert ours.transfer_seconds == pytest.approx(
+                        theirs.transfer_seconds + latency
+                    )
+                else:
+                    assert ours.transfer_seconds == pytest.approx(theirs.transfer_seconds)
+
+    def assert_single_server_parity(
+        self, sequential: StrategyRun, batched: StrategyRun
+    ) -> None:
+        """Batched single-server execution is observationally identical."""
+        assert sequential.cloud.stats == batched.cloud.stats
+        assert len(sequential.cloud.view_log) == len(batched.cloud.view_log)
+        for ours, theirs in zip(sequential.cloud.view_log, batched.cloud.view_log):
+            assert ours.query_id == theirs.query_id
+            assert ours.non_sensitive_request == theirs.non_sensitive_request
+            assert ours.sensitive_request_size == theirs.sensitive_request_size
+            assert ours.returned_sensitive_rids == theirs.returned_sensitive_rids
+            assert ours.sensitive_bin_index == theirs.sensitive_bin_index
+            assert ours.non_sensitive_bin_index == theirs.non_sensitive_bin_index
+
+    def assert_sharded_view_parity(
+        self,
+        sequential: StrategyRun,
+        sharded: StrategyRun,
+        workload: Sequence[object],
+    ) -> None:
+        """Fleet views carry the same information, split across members.
+
+        For every query the sensitive-half view matches the sequential view's
+        encrypted observables and the cleartext-half view matches its
+        cleartext observables — and each half provably lacks the *other*
+        half, which is the non-collusion guarantee.
+        """
+        sequential_views = [
+            view for view in sequential.cloud.view_log
+        ]
+        pairs = self.sharded_view_pairs(sharded, workload)
+        assert len(pairs) == len(sequential_views)
+        for reference, (sensitive_view, cleartext_view) in zip(sequential_views, pairs):
+            assert sensitive_view is not None and cleartext_view is not None
+            # the sensitive member sees the tokens and returned addresses...
+            assert sensitive_view.sensitive_request_size == reference.sensitive_request_size
+            assert sensitive_view.returned_sensitive_rids == reference.returned_sensitive_rids
+            assert sensitive_view.sensitive_bin_index == reference.sensitive_bin_index
+            # ...but no cleartext half, and no non-sensitive bin to pair with.
+            assert sensitive_view.non_sensitive_request == ()
+            assert sensitive_view.returned_non_sensitive == ()
+            assert sensitive_view.non_sensitive_bin_index is None
+            # the cleartext member sees the public half...
+            assert cleartext_view.non_sensitive_request == reference.non_sensitive_request
+            assert [r.rid for r in cleartext_view.returned_non_sensitive] == [
+                r.rid for r in reference.returned_non_sensitive
+            ]
+            assert cleartext_view.non_sensitive_bin_index == reference.non_sensitive_bin_index
+            # ...and not a single token.
+            assert cleartext_view.sensitive_request_size == 0
+            assert cleartext_view.returned_sensitive_rids == ()
+            assert cleartext_view.sensitive_bin_index is None
+
+    def assert_sharded_statistics_parity(
+        self, sequential: StrategyRun, sharded: StrategyRun
+    ) -> None:
+        """Fleet-aggregated statistics equal the single reference server's."""
+        fleet = sharded.fleet
+        assert fleet is not None
+        reference = sequential.cloud.stats
+        for field_name in (
+            "sensitive_tokens_processed",
+            "sensitive_rows_returned",
+            "non_sensitive_rows_returned",
+            "non_sensitive_probes",
+        ):
+            assert fleet.aggregate_stat(field_name) == getattr(reference, field_name), (
+                field_name
+            )
+        if self.use_encrypted_indexes:
+            # Indexed paths examine exactly one bin's rows wherever the bin
+            # lives, so even the scanned-row counters match; the linear-scan
+            # fallback legitimately scans less on a sharded fleet.
+            assert (
+                fleet.aggregate_stat("sensitive_rows_scanned")
+                == reference.sensitive_rows_scanned
+            )
+        # every retrieving query was served as exactly two half requests
+        retrieving = sum(1 for trace in sequential.traces if trace.binned is not None)
+        assert fleet.aggregate_stat("queries_served") == 2 * retrieving
+        # the fleet shipped exactly the tuples the single server shipped
+        assert fleet.total_transfer_tuples("download") == (
+            sequential.cloud.network.total_tuples("download")
+        )
+
+
+@pytest.fixture(scope="session")
+def parity_dataset():
+    """A general-case dataset (skew forces fake tuples) for parity suites."""
+    return generate_partitioned_dataset(
+        num_values=24,
+        sensitivity_fraction=0.5,
+        association_fraction=0.6,
+        tuples_per_value=3,
+        skew_exponent=1.1,
+        seed=9,
+    )
+
+
+@pytest.fixture
+def parity_harness(parity_dataset):
+    """Factory for :class:`ExecutionParityHarness` over the shared dataset.
+
+    Usage::
+
+        harness = parity_harness(DeterministicScheme, num_shards=4)
+        runs = harness.run_all()
+        harness.assert_identical_results(runs)
+    """
+
+    def _make(scheme_factory, dataset=None, **kwargs) -> ExecutionParityHarness:
+        return ExecutionParityHarness(
+            dataset if dataset is not None else parity_dataset,
+            scheme_factory,
+            **kwargs,
+        )
+
+    return _make

@@ -47,3 +47,31 @@ def test_perf_smoke_indexed_query_throughput():
     assert measured["tag-index"]["rows_scanned_per_query"] < linear_rows / 5
     assert measured["tag-index+batch"]["rows_scanned_per_query"] < linear_rows / 5
     assert measured["sse-bin-store"]["rows_scanned_per_query"] < linear_rows / 5
+
+
+@pytest.mark.perf
+@pytest.mark.multicloud
+def test_perf_smoke_sharded_fleet_contracts_per_server_work():
+    """Reduced-scale smoke for the multi-cloud scaling benchmark.
+
+    The wall-clock qps curve lives in ``BENCH_throughput.json`` (written by
+    ``benchmarks/bench_perf_multicloud.py``); here we assert its
+    hardware-independent driver: sharding a linear-scan relation across a
+    fleet splits storage bin-by-bin, so the rows any member examines per
+    query shrink with the member count while results stay identical to the
+    single-server batch path.
+    """
+    from benchmarks.bench_perf_multicloud import run_fleet_comparison
+
+    comparison = run_fleet_comparison(size=4_000, server_counts=(1, 4), queries=12)
+    single, sharded = comparison["runs"]["1"], comparison["runs"]["4"]
+
+    assert single["queries"] == sharded["queries"] > 0
+    # identical per-query result sizes: sharding is unobservable to the owner
+    assert comparison["result_rids_match"] is True
+    # the single server examined the full relation per sensitive request...
+    assert single["rows_scanned_per_query"] == single["encrypted_rows_stored"]
+    # ...while no fleet member even *stores* half of it, and the per-query
+    # scan contracts accordingly.
+    assert sharded["max_rows_stored_per_server"] < single["encrypted_rows_stored"] / 2
+    assert sharded["rows_scanned_per_query"] < single["rows_scanned_per_query"] / 2
