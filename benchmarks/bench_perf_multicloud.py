@@ -34,13 +34,28 @@ per-query costs (merging, trace building) are identical across fleet sizes
 and are deliberately left inside the timed region, so the reported speedups
 are end-to-end, not cloud-only.
 
-Run directly to sweep server counts at 100k rows and fold a
-``multicloud_scaling`` section into the committed ``BENCH_throughput.json``::
+A second dimension — ``fault_tolerance`` — measures what replication and
+failover cost: the same sharded workload at 4 servers with
+``replication_factor=2``, healthy versus with one member killed (excluded
+from routing, its bins served by replicas).  Replication doubles each
+member's slice, so the scan-bound healthy qps sits below the unreplicated
+figure — that storage/throughput trade is the price of surviving a member
+loss; the killed run then shows the residual failover overhead (one fewer
+member, same per-request slice sizes).  Results must stay bit-identical
+across both runs — degraded execution is required to be unobservable.
+
+Run directly to sweep server counts at 100k rows and fold the
+``multicloud_scaling`` and ``fault_tolerance`` sections into the committed
+``BENCH_throughput.json``::
 
     PYTHONPATH=src python benchmarks/bench_perf_multicloud.py
 
-The full-scale acceptance test (≥1.5x qps at 4 servers vs. 1 at 100k rows) is
-marked ``slowperf`` and excluded from default collection; run it explicitly::
+The full-scale acceptance tests (≥1.5x qps at 4 servers vs. 1 at 100k rows;
+killed-member qps ≥ 0.4x healthy) are marked ``slowperf``; the
+fault-tolerance smoke variant is seconds-fast but — like every test in this
+directory — only collected when the file is named explicitly (pytest only
+auto-collects ``test_*.py``; the default-run failover coverage lives in
+``tests/test_fault_tolerance.py``).  Run the full set::
 
     PYTHONPATH=src python -m pytest -m perf -q benchmarks/bench_perf_multicloud.py
 """
@@ -97,7 +112,12 @@ CONFIGS: Dict[str, bool] = {
 QUERY_BUDGET = {"sharded-linear": 240, "sharded-tag-index": 600}
 
 
-def _build_engine(dataset, server_count: int, use_encrypted_indexes: bool):
+def _build_engine(
+    dataset,
+    server_count: int,
+    use_encrypted_indexes: bool,
+    replication_factor: int = 1,
+):
     """An engine over ``dataset``, sharded across ``server_count`` members.
 
     ``server_count == 1`` is the baseline: no fleet, single-server batched
@@ -114,6 +134,7 @@ def _build_engine(dataset, server_count: int, use_encrypted_indexes: bool):
             if server_count >= 2
             else None
         ),
+        replication_factor=replication_factor,
     )
     return engine.setup()
 
@@ -214,6 +235,118 @@ def run_fleet_comparison(
     }
 
 
+def run_fault_tolerance_comparison(
+    size: int,
+    server_count: int = 4,
+    replication_factor: int = 2,
+    queries: int = 240,
+    use_encrypted_indexes: bool = False,
+    seed: int = 29,
+    warmup: int = 1,
+    repeats: int = 3,
+    victim: int = 0,
+) -> Dict:
+    """Failover overhead: healthy vs. one-member-killed qps on a replicated fleet.
+
+    Both runs use identical engines (``server_count`` members,
+    ``replication_factor``-way replicated bin slices); the degraded run marks
+    ``victim`` failed *before* measuring, so it reports the steady state a
+    deployment settles into after a member loss — every bin the victim owned
+    is served by a live replica, with bit-identical results (checked).
+    """
+    dataset = _build_dataset(size, seed)
+    rng = random.Random(seed + 1)
+    workload = [rng.choice(dataset.all_values) for _ in range(queries)]
+    runs: Dict[str, Dict] = {}
+    reference_rids = None
+    rids_match = True
+    single_copy_rows = 0
+    for label, kill in (("healthy", False), ("one-member-killed", True)):
+        engine = _build_engine(
+            dataset, server_count, use_encrypted_indexes, replication_factor
+        )
+        # the reference server holds exactly one copy of the encrypted
+        # relation — the baseline the fleet's k-way storage is measured from
+        single_copy_rows = engine.cloud.encrypted_row_count
+        if kill:
+            engine.multi_cloud.failed_members.add(victim)
+        measured, result_rids = _measure(
+            engine, server_count, workload, warmup=warmup, repeats=repeats
+        )
+        measured["members_live"] = server_count - (1 if kill else 0)
+        if reference_rids is None:
+            reference_rids = result_rids
+        else:
+            rids_match = rids_match and (result_rids == reference_rids)
+        runs[label] = measured
+    healthy_qps = runs["healthy"]["queries_per_second"]
+    degraded_qps = runs["one-member-killed"]["queries_per_second"]
+    return {
+        "relation_rows": size,
+        "queries": queries,
+        "server_count": server_count,
+        "replication_factor": replication_factor,
+        "use_encrypted_indexes": use_encrypted_indexes,
+        "killed_member": victim,
+        "single_copy_rows": single_copy_rows,
+        "runs": runs,
+        "result_rids_match": rids_match,
+        # qps retained with one member down; 1.0 would mean free failover
+        "degraded_qps_fraction": (
+            degraded_qps / healthy_qps if healthy_qps else float("inf")
+        ),
+    }
+
+
+def run_fault_tolerance_suite(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    out_path: Optional[Path] = OUTPUT_PATH,
+    seed: int = 29,
+) -> Dict:
+    """Sweep sizes for the failover comparison; fold into the trajectory."""
+    section: Dict = {
+        "benchmark": "fault_tolerance",
+        "server_count": 4,
+        "replication_factor": 2,
+        "sizes": [
+            run_fault_tolerance_comparison(size, seed=seed) for size in sizes
+        ],
+    }
+    if out_path is not None:
+        trajectory = (
+            json.loads(out_path.read_text()) if out_path.exists() else {}
+        )
+        trajectory["fault_tolerance"] = section
+        out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return section
+
+
+def print_fault_tolerance(section: Dict) -> None:
+    for comparison in section["sizes"]:
+        rows = []
+        for label in ("healthy", "one-member-killed"):
+            measured = comparison["runs"][label]
+            rows.append(
+                (
+                    label,
+                    measured["members_live"],
+                    f"{measured['queries_per_second']:.1f}",
+                    f"{measured['rows_scanned_per_query']:.1f}",
+                    f"{measured['max_rows_stored_per_server']}",
+                )
+            )
+        parity = "ok" if comparison["result_rids_match"] else "MISMATCH"
+        print_table(
+            f"fault tolerance @ {comparison['relation_rows']} rows, "
+            f"{comparison['server_count']} servers, "
+            f"k={comparison['replication_factor']} "
+            f"(result parity: {parity}, degraded qps fraction: "
+            f"{comparison['degraded_qps_fraction']:.2f})",
+            ["run", "live members", "qps", "rows scanned/query", "max rows/server"],
+            rows,
+        )
+
+
 def run_multicloud_suite(
     sizes: Sequence[int] = DEFAULT_SIZES,
     server_counts: Sequence[int] = DEFAULT_SERVER_COUNTS,
@@ -288,6 +421,46 @@ def print_results(section: Dict) -> None:
 
 
 @pytest.mark.perf
+@pytest.mark.faults
+def test_failover_parity_smoke():
+    """Fast default-run check: a killed member is invisible in the results
+    and the degraded fleet still serves at a sane fraction of healthy qps."""
+    comparison = run_fault_tolerance_comparison(
+        2_000, queries=60, warmup=1, repeats=1
+    )
+    assert comparison["result_rids_match"] is True
+    healthy = comparison["runs"]["healthy"]
+    degraded = comparison["runs"]["one-member-killed"]
+    assert degraded["queries_per_second"] > 0
+    # replication really happened: the fleet stores exactly k copies of the
+    # encrypted relation (k=2), not the single sharded copy of an
+    # unreplicated fleet
+    assert healthy["encrypted_rows_stored"] == (
+        comparison["replication_factor"] * comparison["single_copy_rows"]
+    )
+    assert comparison["degraded_qps_fraction"] > 0.2
+
+
+@pytest.mark.perf
+@pytest.mark.slowperf
+def test_failover_overhead_acceptance():
+    """The acceptance bar for degraded mode at full scale: losing 1 of 4
+    members keeps ≥0.4x of healthy steady-state qps (3 live members serving
+    identical per-request slices), with bit-identical results."""
+    comparison = run_fault_tolerance_comparison(100_000, queries=160)
+    print_fault_tolerance({"sizes": [comparison]})
+    assert comparison["result_rids_match"] is True
+    assert comparison["degraded_qps_fraction"] >= 0.4
+    # the degraded run scans the same per-query slice (replicas are exact
+    # copies); only the loss of a member's parallelism may cost throughput
+    healthy = comparison["runs"]["healthy"]
+    degraded = comparison["runs"]["one-member-killed"]
+    assert degraded["rows_scanned_per_query"] == pytest.approx(
+        healthy["rows_scanned_per_query"], rel=0.01
+    )
+
+
+@pytest.mark.perf
 @pytest.mark.slowperf
 def test_multicloud_scaling_acceptance():
     """The acceptance bar: ≥1.5x qps at 4 servers vs. 1 at 100k rows.
@@ -314,4 +487,6 @@ def test_multicloud_scaling_acceptance():
 if __name__ == "__main__":
     suite_section = run_multicloud_suite()
     print_results(suite_section)
+    fault_section = run_fault_tolerance_suite()
+    print_fault_tolerance(fault_section)
     print(f"\ntrajectory written to {OUTPUT_PATH}")

@@ -33,17 +33,43 @@ The non-collusion model
 A binned request has two halves: the opaque tokens for a sensitive bin and
 the cleartext values of a non-sensitive bin.  Observing *both* halves of one
 query is exactly what lets an adversary associate the two bins (the paper's
-Table V leakage), so the router never co-locates them:
+Table V leakage), so the router never co-locates them.  With
+``replication_factor = k`` the router carves the member ring into two
+segments *per sensitive bin* ``s`` with primary member ``p``:
 
-* the sensitive half goes to the member owning the sensitive bin;
-* the cleartext half goes to a member guaranteed to be *different* — it is
-  offset from the sensitive member by ``1 + policy(ns_bin) % (count - 1)``.
+* the **token segment** ``{p, p+1, ..., p+k-1}`` (mod count) — the primary
+  and its ``k-1`` ring successors, the only members ever storing or serving
+  ``s``'s encrypted slice (primary or replica);
+* the **cleartext segment** ``{p+k, ..., p+count-1}`` (mod count) — the only
+  members ever serving the cleartext half of a request anchored at ``s``;
+  the policy picks ``p + k + policy(ns_bin) % (count - k)`` and failover
+  walks the rest of the segment.
 
-Each member therefore records views containing either tokens or cleartext
-values, never both, and no single server can reconstruct a (sensitive bin,
-non-sensitive bin) association.  The fleet as a whole observes exactly the
-information a single server would have observed — the parity tests in
-``tests/test_multicloud_parity.py`` pin this down field by field.
+The two segments are disjoint by construction, so *no placement the fleet
+can ever produce* — primary routing, replica storage, or failover — puts a
+bin's token half and its paired cleartext traffic on the same member.  At
+``k = 1`` this degrades to PR 2's offset rule exactly.  Each member records
+views containing either tokens or cleartext values, never both, and the
+fleet as a whole observes exactly the information a single server would have
+observed — the parity tests in ``tests/test_multicloud_parity.py`` and the
+exhaustive grid in ``tests/test_replica_router.py`` pin this down.
+
+Fault tolerance
+---------------
+:meth:`MultiCloud.process_batch` survives member failures.  A member whose
+batch raises :class:`~repro.exceptions.MemberFailure` (the crash signal; a
+deterministic :class:`CloudError` such as a malformed request propagates
+instead of masquerading as an outage) is retried up to ``member_retries``
+times (transient faults), then added to the fleet's persistent
+``failed_members`` set; every half it was serving is re-routed to the next
+live candidate — sensitive halves walk the bin's replica chain, cleartext
+halves walk the cleartext segment — and served in a follow-up wave.  A
+crashed member is assumed to lose the volatile observations of its in-flight
+batch (see :meth:`CloudServer.restore_observations`), so a degraded run
+records exactly one view per half fleet-wide and aggregates to the same
+statistics as a healthy run.  When a half's candidates are all dead the
+batch raises :class:`~repro.exceptions.FleetDegradedError` instead of
+hanging or silently dropping requests.
 
 Concurrency
 -----------
@@ -57,23 +83,60 @@ whose cloud-side matching mutates internal counters declare
 ``concurrent_search_safe = False`` and are served one member at a time
 rather than racing on ``+=``.  The optional ``response_consumer`` runs in
 the *calling* thread as members complete, which is what lets the query engine
-overlap owner-side decryption with the remaining members' searches.
+overlap owner-side decryption with the remaining members' searches — under
+failover it is invoked exactly once per half, whenever the half's serving
+member (original or replica) completes.
 """
 
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor, as_completed
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.cloud.network import NetworkModel
 from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
 from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
-from repro.data.partition import SHARD_POLICIES, stable_item_hash
+from repro.data.partition import SHARD_POLICIES, replica_chain, stable_item_hash
 from repro.data.relation import Relation, Row
-from repro.exceptions import CloudError
+from repro.exceptions import CloudError, FleetDegradedError, MemberFailure
 
-#: (server index, position inside that server's batch) of one request half.
+#: (server index, position) of one request half; ``position`` is the index
+#: inside the server's batch for :meth:`MultiCloud.split_requests` plans and
+#: the absolute view-log index in :class:`FleetBatchReport` placements (the
+#: two coincide for a freshly reset fleet serving one batch).
 HalfPlacement = Optional[Tuple[int, int]]
+
+
+@dataclass(frozen=True)
+class FleetBatchReport:
+    """How the last :meth:`MultiCloud.process_batch` call actually placed work.
+
+    ``placements`` mirrors :meth:`MultiCloud.split_requests` — one
+    ``(sensitive half, cleartext half)`` entry per input request — but
+    records where each half was *finally served* after any failover, as
+    ``(server index, absolute view-log position)``.  ``failed_members``
+    holds the members newly detected as failed during this batch;
+    ``rerouted_halves`` counts the halves that had to move to a replica.
+    The fault-injection parity harness reads this to look up per-query views
+    in a degraded run.
+    """
+
+    placements: Tuple[Tuple[HalfPlacement, HalfPlacement], ...]
+    failed_members: frozenset
+    rerouted_halves: int
+
+
+@dataclass
+class _HalfUnit:
+    """One request half in flight: its candidates and current assignee."""
+
+    slot: int
+    kind: str  # "sensitive" | "cleartext"
+    request: BatchRequest
+    candidates: Tuple[int, ...]
+    attempt: int = 0
+    member: int = -1
 
 
 class ShardRouter:
@@ -84,10 +147,18 @@ class ShardRouter:
     num_sensitive_bins / num_non_sensitive_bins:
         The bin counts of the layout being sharded.
     num_shards:
-        Fleet size; at least 2, because the non-collusion guarantee needs a
-        second member to take the cleartext half.
+        Fleet size; at least ``replication_factor + 1``, because the token
+        segment of every bin takes ``replication_factor`` members and the
+        non-collusion guarantee needs at least one member left over for the
+        cleartext half.
     policy:
         ``"hash"`` or ``"range"`` — see the module docstring.
+    replication_factor:
+        How many members hold each sensitive bin's slice (primary included).
+        ``1`` (the default) reproduces PR 2's unreplicated placement exactly;
+        ``k ≥ 2`` tolerates ``k - 1`` failed members per bin.  Replicas are
+        the primary's ring successors, which keeps them inside the bin's
+        token segment — see the module docstring's non-collusion model.
 
     Bins outside the counts the router was built for (layouts can grow
     through incremental re-binning) fall back to hash placement, so routing
@@ -100,11 +171,23 @@ class ShardRouter:
         num_non_sensitive_bins: int,
         num_shards: int,
         policy: str = "hash",
+        replication_factor: int = 1,
     ):
         if num_shards < 2:
             raise CloudError(
                 "shard routing needs at least 2 servers so the cleartext half "
                 f"never lands on the sensitive half's server (got {num_shards})"
+            )
+        if replication_factor < 1:
+            raise CloudError(
+                f"replication_factor must be at least 1, got {replication_factor}"
+            )
+        if num_shards < replication_factor + 1:
+            raise CloudError(
+                f"replication_factor={replication_factor} needs at least "
+                f"{replication_factor + 1} servers — {replication_factor} token "
+                "members per bin plus one member left over for the cleartext "
+                f"half (got {num_shards})"
             )
         try:
             assign = SHARD_POLICIES[policy]
@@ -117,36 +200,87 @@ class ShardRouter:
         self.num_non_sensitive_bins = num_non_sensitive_bins
         self.num_shards = num_shards
         self.policy = policy
+        self.replication_factor = replication_factor
         self._sensitive_assignment: Dict[object, int] = assign(
             range(num_sensitive_bins), num_shards
         )
-        # The cleartext half is placed by a non-zero *offset* from the
-        # sensitive member, never by an absolute shard, so it cannot collide
-        # with the sensitive half no matter which member owns the bin.
-        self._non_sensitive_offset: Dict[object, int] = {
-            bin_index: 1 + shard % (num_shards - 1)
-            for bin_index, shard in assign(
-                range(num_non_sensitive_bins), num_shards
-            ).items()
-        }
+        # The cleartext half is placed by an *offset into the cleartext
+        # segment* of the anchoring sensitive member, never by an absolute
+        # shard, so it can collide neither with the sensitive half nor with
+        # any of its replicas, no matter which member owns the bin.  The raw
+        # policy value is kept (not the precomputed offset) so failover can
+        # walk the rest of the segment deterministically from it.
+        self._non_sensitive_raw: Dict[object, int] = assign(
+            range(num_non_sensitive_bins), num_shards
+        )
 
     # -- bin-level placement -------------------------------------------------
     def shard_of_sensitive(self, bin_index: int) -> int:
-        """The member storing (and serving) sensitive bin ``bin_index``."""
+        """The member owning (primary for) sensitive bin ``bin_index``."""
         shard = self._sensitive_assignment.get(bin_index)
         if shard is None:  # bin created after the router was built
             shard = stable_item_hash(bin_index) % self.num_shards
         return shard
 
-    def shard_of_non_sensitive(self, bin_index: Optional[int], sensitive_shard: int) -> int:
-        """The member serving a cleartext half, guaranteed ≠ ``sensitive_shard``."""
+    def replicas_of_sensitive(self, bin_index: Optional[int]) -> Tuple[int, ...]:
+        """Every member holding bin ``bin_index``'s slice, primary first.
+
+        This is the failover order for the bin's token half.  ``None`` (rows
+        or requests without a bin annotation) anchors on member 0, matching
+        :meth:`route` and the outsourcing path for unplaced rows.
+        """
+        primary = 0 if bin_index is None else self.shard_of_sensitive(bin_index)
+        return replica_chain(primary, self.num_shards, self.replication_factor)
+
+    def cleartext_candidates(
+        self, bin_index: Optional[int], sensitive_shard: int
+    ) -> Tuple[int, ...]:
+        """The failover order for a cleartext half anchored at ``sensitive_shard``.
+
+        All candidates lie in the anchor's cleartext segment (the ring minus
+        the token segment), so every choice — preferred or failover — is
+        guaranteed disjoint from the bin's primary *and* replicas.
+        """
+        window = self.num_shards - self.replication_factor
         if bin_index is None:
-            offset = 1
+            raw = 0
         else:
-            offset = self._non_sensitive_offset.get(bin_index)
-            if offset is None:
-                offset = 1 + stable_item_hash(bin_index) % (self.num_shards - 1)
-        return (sensitive_shard + offset) % self.num_shards
+            raw = self._non_sensitive_raw.get(bin_index)
+            if raw is None:
+                raw = stable_item_hash(bin_index)
+        return tuple(
+            (sensitive_shard + self.replication_factor + (raw + step) % window)
+            % self.num_shards
+            for step in range(window)
+        )
+
+    def shard_of_non_sensitive(self, bin_index: Optional[int], sensitive_shard: int) -> int:
+        """The preferred member for a cleartext half, guaranteed ≠ any token member."""
+        return self.cleartext_candidates(bin_index, sensitive_shard)[0]
+
+    def route_candidates(
+        self, request: BatchRequest
+    ) -> Tuple[Optional[Tuple[int, ...]], Optional[Tuple[int, ...]]]:
+        """Ordered candidate members for each half of one request.
+
+        First entries are the healthy-fleet placement (identical to
+        :meth:`route`); the rest are the failover order.  A half the request
+        does not carry maps to ``None``.
+        """
+        anchor = 0
+        if request.sensitive_bin_index is not None:
+            anchor = self.shard_of_sensitive(request.sensitive_bin_index)
+        sensitive: Optional[Tuple[int, ...]] = None
+        if request.has_sensitive_half:
+            sensitive = replica_chain(
+                anchor, self.num_shards, self.replication_factor
+            )
+        non_sensitive: Optional[Tuple[int, ...]] = None
+        if request.has_non_sensitive_half:
+            non_sensitive = self.cleartext_candidates(
+                request.non_sensitive_bin_index, anchor
+            )
+        return sensitive, non_sensitive
 
     def route(self, request: BatchRequest) -> Tuple[Optional[int], Optional[int]]:
         """(sensitive member, cleartext member) for one request's halves.
@@ -155,35 +289,44 @@ class ShardRouter:
         without a sensitive bin annotation (un-binned engines) anchor their
         sensitive half on member 0 so routing stays total.
         """
-        sensitive_shard: Optional[int] = None
-        anchor = 0
-        if request.sensitive_bin_index is not None:
-            anchor = self.shard_of_sensitive(request.sensitive_bin_index)
-        if request.has_sensitive_half:
-            sensitive_shard = anchor
-        non_sensitive_shard: Optional[int] = None
-        if request.has_non_sensitive_half:
-            non_sensitive_shard = self.shard_of_non_sensitive(
-                request.non_sensitive_bin_index, anchor
-            )
-        return sensitive_shard, non_sensitive_shard
+        sensitive, non_sensitive = self.route_candidates(request)
+        return (
+            sensitive[0] if sensitive is not None else None,
+            non_sensitive[0] if non_sensitive is not None else None,
+        )
 
-    def rebalanced(self, num_shards: int) -> "ShardRouter":
+    def rebalanced(
+        self, num_shards: int, replication_factor: Optional[int] = None
+    ) -> "ShardRouter":
         """The router for the same layout on a different fleet size.
 
-        Pure function of (bin counts, policy, count): rebalancing to ``k``
-        servers and back reproduces the original assignment exactly.
+        Pure function of (bin counts, policy, count, replication factor):
+        rebalancing to ``k`` servers and back reproduces the original
+        assignment — replica chains included — exactly.  The replication
+        factor is preserved unless explicitly overridden.
         """
         return ShardRouter(
             self.num_sensitive_bins,
             self.num_non_sensitive_bins,
             num_shards,
             policy=self.policy,
+            replication_factor=(
+                self.replication_factor
+                if replication_factor is None
+                else replication_factor
+            ),
         )
 
     def sensitive_assignment(self) -> Dict[int, int]:
-        """A copy of the bin → member map (introspection / tests)."""
+        """A copy of the bin → primary member map (introspection / tests)."""
         return dict(self._sensitive_assignment)
+
+    def replica_assignment(self) -> Dict[int, Tuple[int, ...]]:
+        """The bin → (primary, replicas...) map (introspection / tests)."""
+        return {
+            bin_index: self.replicas_of_sensitive(bin_index)
+            for bin_index in range(self.num_sensitive_bins)
+        }
 
 
 class MultiCloud:
@@ -191,7 +334,16 @@ class MultiCloud:
 
     ``use_indexes`` / ``use_encrypted_indexes`` are forwarded to every member
     so a fleet can be configured exactly like the single reference server it
-    is compared against.
+    is compared against.  ``server_factory`` lets tests substitute member
+    implementations (e.g. the fault-injecting server); it receives the same
+    keyword arguments :class:`CloudServer` takes.  ``member_retries`` is the
+    per-member retry budget :meth:`process_batch` spends on a failing member
+    before excluding it and failing its work over to replicas.
+
+    ``failed_members`` persists across batches: once a member is excluded it
+    receives no further work until the fleet is explicitly repaired
+    (:meth:`mark_all_recovered`, e.g. after a re-outsourcing rebin replaces
+    the member).
     """
 
     def __init__(
@@ -200,12 +352,17 @@ class MultiCloud:
         network_factory: Optional[Callable[[], NetworkModel]] = None,
         use_indexes: bool = True,
         use_encrypted_indexes: bool = True,
+        server_factory: Optional[Callable[..., CloudServer]] = None,
+        member_retries: int = 1,
     ):
         if count < 2:
             raise CloudError("a multi-cloud deployment needs at least 2 servers")
+        if member_retries < 0:
+            raise CloudError(f"member_retries must be >= 0, got {member_retries}")
         factory = network_factory or NetworkModel
+        make_server = server_factory or CloudServer
         self.servers: List[CloudServer] = [
-            CloudServer(
+            make_server(
                 name=f"cloud-{index}",
                 network=factory(),
                 use_indexes=use_indexes,
@@ -213,6 +370,13 @@ class MultiCloud:
             )
             for index in range(count)
         ]
+        self.member_retries = member_retries
+        self.failed_members: Set[int] = set()
+        self.last_report: Optional[FleetBatchReport] = None
+        #: last crash observed per member, kept for diagnosis: a
+        #: FleetDegradedError reports *why* the exhausted chain's candidates
+        #: died instead of leaving only "all failed".
+        self._member_errors: Dict[int, CloudError] = {}
 
     def __len__(self) -> int:
         return len(self.servers)
@@ -252,29 +416,49 @@ class MultiCloud:
 
         Every member receives the public cleartext relation (with a hash
         index over ``attribute``) and exactly the ciphertexts of the bins the
-        router assigned to it; ``bin_assignment`` maps rid → sensitive bin
-        index for every row, fakes included.  Rows the owner did not place
-        (no bin) land on member 0 so no ciphertext is ever dropped.
+        router assigned to it — as primary or replica: under
+        ``router.replication_factor = k`` each bin's whole slice (real and
+        fake tuples alike) is stored identically on all ``k`` members of the
+        bin's token segment, so any of them can serve a retrieval
+        bit-identically.  ``bin_assignment`` maps rid → sensitive bin index
+        for every row, fakes included.  Rows the owner did not place (no
+        bin) land on member 0's replica chain so no ciphertext is ever
+        dropped, mirroring where their requests anchor.
         """
         if router.num_shards != len(self.servers):
             raise CloudError(
                 f"router was built for {router.num_shards} shards, fleet has "
                 f"{len(self.servers)}"
             )
-        per_server_rows: List[List[EncryptedRow]] = [[] for _ in self.servers]
-        per_server_bins: List[Dict[int, int]] = [{} for _ in self.servers]
-        for row in encrypted_rows:
-            bin_index = bin_assignment.get(row.rid)
-            if bin_index is None:
-                per_server_rows[0].append(row)
-                continue
-            shard = router.shard_of_sensitive(bin_index)
-            per_server_rows[shard].append(row)
-            per_server_bins[shard][row.rid] = bin_index
+        per_server_rows, per_server_bins = self._replicated_row_groups(
+            encrypted_rows, bin_assignment, router
+        )
         for server, rows, bins in zip(self.servers, per_server_rows, per_server_bins):
             server.store_non_sensitive(non_sensitive)
             server.store_sensitive(rows, scheme, bin_assignment=bins or None)
             server.build_index(attribute)
+
+    def _replicated_row_groups(
+        self,
+        encrypted_rows: Sequence[EncryptedRow],
+        bin_assignment: Mapping[int, int],
+        router: ShardRouter,
+    ) -> Tuple[List[List[EncryptedRow]], List[Dict[int, int]]]:
+        """Group rows per member, replicating each bin's slice on its chain."""
+        per_server_rows: List[List[EncryptedRow]] = [[] for _ in self.servers]
+        per_server_bins: List[Dict[int, int]] = [{} for _ in self.servers]
+        chain_by_bin: Dict[Optional[int], Tuple[int, ...]] = {}
+        for row in encrypted_rows:
+            bin_index = bin_assignment.get(row.rid)
+            chain = chain_by_bin.get(bin_index)
+            if chain is None:
+                chain = router.replicas_of_sensitive(bin_index)
+                chain_by_bin[bin_index] = chain
+            for shard in chain:
+                per_server_rows[shard].append(row)
+                if bin_index is not None:
+                    per_server_bins[shard][row.rid] = bin_index
+        return per_server_rows, per_server_bins
 
     def append_sensitive_sharded(
         self,
@@ -282,15 +466,16 @@ class MultiCloud:
         bin_assignment: Mapping[int, int],
         router: ShardRouter,
     ) -> None:
-        """Route freshly inserted ciphertexts to the members owning their bins."""
-        per_server_rows: List[List[EncryptedRow]] = [[] for _ in self.servers]
-        per_server_bins: List[Dict[int, int]] = [{} for _ in self.servers]
-        for row in encrypted_rows:
-            bin_index = bin_assignment.get(row.rid)
-            shard = 0 if bin_index is None else router.shard_of_sensitive(bin_index)
-            per_server_rows[shard].append(row)
-            if bin_index is not None:
-                per_server_bins[shard][row.rid] = bin_index
+        """Route freshly inserted ciphertexts to the members holding their bins.
+
+        Replica-consistent: an insert reaches *every* member of its bin's
+        replica chain in the same call, so primaries and replicas never
+        diverge and a failover performed at any point between inserts
+        returns exactly what the primary would have.
+        """
+        per_server_rows, per_server_bins = self._replicated_row_groups(
+            encrypted_rows, bin_assignment, router
+        )
         for server, rows, bins in zip(self.servers, per_server_rows, per_server_bins):
             if rows:
                 server.append_sensitive(rows, bin_assignment=bins)
@@ -370,6 +555,85 @@ class MultiCloud:
             placements.append((sensitive_placement, non_sensitive_placement))
         return per_server, placements
 
+    def _plan(
+        self, requests: Sequence[BatchRequest], router: ShardRouter
+    ) -> Tuple[List[_HalfUnit], List[Tuple[Optional[int], Optional[int]]]]:
+        """Split a batch into half units carrying their failover candidates.
+
+        Returns the units (in request order, sensitive half before cleartext
+        half — the same per-member order :meth:`split_requests` produces) and,
+        per input request, the unit slots of its two halves.
+        """
+        if router.num_shards != len(self.servers):
+            raise CloudError(
+                f"router was built for {router.num_shards} shards, fleet has "
+                f"{len(self.servers)}; resize with router.rebalanced() and "
+                "re-outsource (bin slices do not migrate on their own)"
+            )
+        units: List[_HalfUnit] = []
+        slot_pairs: List[Tuple[Optional[int], Optional[int]]] = []
+        for request in requests:
+            sensitive_candidates, cleartext_candidates = router.route_candidates(
+                request
+            )
+            sensitive_slot: Optional[int] = None
+            if sensitive_candidates is not None:
+                sensitive_slot = len(units)
+                units.append(
+                    _HalfUnit(
+                        slot=sensitive_slot,
+                        kind="sensitive",
+                        request=request.sensitive_half(),
+                        candidates=sensitive_candidates,
+                    )
+                )
+            cleartext_slot: Optional[int] = None
+            if cleartext_candidates is not None:
+                cleartext_slot = len(units)
+                units.append(
+                    _HalfUnit(
+                        slot=cleartext_slot,
+                        kind="cleartext",
+                        request=request.non_sensitive_half(),
+                        candidates=cleartext_candidates,
+                    )
+                )
+            slot_pairs.append((sensitive_slot, cleartext_slot))
+        return units, slot_pairs
+
+    def _assign_live_member(self, unit: _HalfUnit) -> None:
+        """Point ``unit`` at its first candidate not in the failed set."""
+        while unit.attempt < len(unit.candidates):
+            member = unit.candidates[unit.attempt]
+            if member not in self.failed_members:
+                unit.member = member
+                return
+            unit.attempt += 1
+        bin_index = (
+            unit.request.sensitive_bin_index
+            if unit.kind == "sensitive"
+            else unit.request.non_sensitive_bin_index
+        )
+        # chain the most recent crash from the exhausted chain itself, not
+        # whichever member happened to fail last fleet-wide
+        cause: Optional[CloudError] = None
+        for member in unit.candidates:
+            if member in self._member_errors:
+                cause = self._member_errors[member]
+        causes = "; ".join(
+            f"cloud-{member}: {str(self._member_errors[member])!r}"
+            for member in unit.candidates
+            if member in self._member_errors
+        )
+        raise FleetDegradedError(
+            f"no live member can serve the {unit.kind} half for bin "
+            f"{bin_index!r}: every candidate {list(unit.candidates)} has "
+            f"failed (failed members: {sorted(self.failed_members)}"
+            + (f"; member errors: {causes}" if causes else "")
+            + "); raise replication_factor or replace the failed members and "
+            "re-outsource"
+        ) from cause
+
     def process_batch(
         self,
         requests: Sequence[BatchRequest],
@@ -390,14 +654,35 @@ class MultiCloud:
         finishes, so the owner can decrypt one member's results while the
         others are still searching.
 
+        Execution is wave-based so member failures never fail the batch: a
+        member whose batch raises :class:`~repro.exceptions.MemberFailure`
+        is retried up to the fleet's ``member_retries`` budget, then added
+        to ``failed_members``;
+        its halves advance along their candidate chains (replicas for token
+        halves, the cleartext segment for cleartext halves) and are served in
+        the next wave.  Only a half whose candidates are *all* failed raises
+        :class:`~repro.exceptions.FleetDegradedError`.  A healthy fleet runs
+        exactly one wave, identical to the pre-failover semantics.  The final
+        placement of every half is recorded in :attr:`last_report`.
+
         The merged response for a request stitches its halves back together;
         the encrypted row list of the sensitive half is passed through *by
         identity*, so deduplicated retrievals stay shared and the owner can
         key decryption caches on it exactly as in the single-server batch
         path.
         """
-        per_server, placements = self.split_requests(requests, router)
-        per_server_responses: List[List[QueryResponse]] = [[] for _ in self.servers]
+        # Invalidate up front: if this batch aborts (FleetDegradedError, a
+        # mismatched router), a caller must not mistake the previous batch's
+        # report for this one's.
+        self.last_report = None
+        units, slot_pairs = self._plan(requests, router)
+        for unit in units:
+            self._assign_live_member(unit)
+        responses: List[Optional[QueryResponse]] = [None] * len(units)
+        positions: List[HalfPlacement] = [None] * len(units)
+        retries_left = {index: self.member_retries for index in range(len(self.servers))}
+        failed_this_batch: Set[int] = set()
+        rerouted = 0
         workers = max_workers or len(self.servers)
         # Members share one scheme object; schemes whose search() mutates
         # internal work counters declare themselves concurrency-unsafe and
@@ -407,30 +692,100 @@ class MultiCloud:
             for server in self.servers
         ):
             workers = 1
-        with ThreadPoolExecutor(max_workers=workers) as pool:
-            futures = {
-                pool.submit(self.servers[index].process_batch, batch): index
-                for index, batch in enumerate(per_server)
-                if batch
+        pending = list(units)
+        while pending:
+            # Re-validate assignments at every wave boundary: a half
+            # re-queued while its member still looked live may have lost
+            # that member to an exclusion handled *later in the same wave*
+            # (two members failing together); an excluded member must never
+            # be handed further work.
+            for unit in pending:
+                if unit.candidates[unit.attempt] in self.failed_members:
+                    self._assign_live_member(unit)
+                    rerouted += 1
+            groups: Dict[int, List[_HalfUnit]] = {}
+            for unit in pending:  # pending is kept in slot order
+                groups.setdefault(unit.member, []).append(unit)
+            # Absolute view-log base per member, read before any worker runs:
+            # a member's log grows only under its own (single) worker.
+            log_bases = {
+                member: len(self.servers[member].view_log) for member in groups
             }
-            for future in as_completed(futures):
-                index = futures[future]
-                responses = future.result()
-                per_server_responses[index] = responses
-                if response_consumer is not None:
-                    for request, response in zip(per_server[index], responses):
-                        response_consumer(request, response)
+            # Pre-wave observation snapshots back the crash semantics for
+            # *any* member implementation: whatever a member recorded before
+            # raising is rolled back below, so a retried or re-routed half
+            # can never be double-counted in views, statistics, or transfer
+            # logs.  (The fault-injecting test server restores itself too —
+            # the restore is idempotent against the same snapshot.)
+            snapshots = {
+                member: self.servers[member].observation_snapshot()
+                for member in groups
+            }
+            next_pending: List[_HalfUnit] = []
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        self.servers[member].process_batch,
+                        [unit.request for unit in group],
+                    ): member
+                    for member, group in groups.items()
+                }
+                for future in as_completed(futures):
+                    member = futures[future]
+                    group = groups[member]
+                    try:
+                        member_responses = future.result()
+                    except MemberFailure as error:
+                        # Only crash signals trigger failover; a deterministic
+                        # CloudError (malformed request, misconfiguration)
+                        # propagates instead of poisoning healthy members'
+                        # standing in failed_members.  The member's worker is
+                        # done (the future resolved), so restoring its
+                        # snapshot races with nothing.
+                        self.servers[member].restore_observations(
+                            snapshots[member]
+                        )
+                        self._member_errors[member] = error
+                        if retries_left[member] > 0:
+                            retries_left[member] -= 1
+                        else:
+                            self.failed_members.add(member)
+                            failed_this_batch.add(member)
+                        # re-routing (and its accounting) happens at the next
+                        # wave boundary, where exclusions from the whole wave
+                        # are known
+                        next_pending.extend(group)
+                        continue
+                    for offset, (unit, response) in enumerate(
+                        zip(group, member_responses)
+                    ):
+                        responses[unit.slot] = response
+                        positions[unit.slot] = (member, log_bases[member] + offset)
+                        if response_consumer is not None:
+                            response_consumer(unit.request, response)
+            next_pending.sort(key=lambda unit: unit.slot)
+            pending = next_pending
+
+        self.last_report = FleetBatchReport(
+            placements=tuple(
+                (
+                    positions[sensitive_slot] if sensitive_slot is not None else None,
+                    positions[cleartext_slot] if cleartext_slot is not None else None,
+                )
+                for sensitive_slot, cleartext_slot in slot_pairs
+            ),
+            failed_members=frozenset(failed_this_batch),
+            rerouted_halves=rerouted,
+        )
 
         merged: List[QueryResponse] = []
-        for sensitive_placement, non_sensitive_placement in placements:
+        for sensitive_slot, cleartext_slot in slot_pairs:
             sensitive_response: Optional[QueryResponse] = None
-            if sensitive_placement is not None:
-                server_index, position = sensitive_placement
-                sensitive_response = per_server_responses[server_index][position]
+            if sensitive_slot is not None:
+                sensitive_response = responses[sensitive_slot]
             non_sensitive_response: Optional[QueryResponse] = None
-            if non_sensitive_placement is not None:
-                server_index, position = non_sensitive_placement
-                non_sensitive_response = per_server_responses[server_index][position]
+            if cleartext_slot is not None:
+                non_sensitive_response = responses[cleartext_slot]
             merged.append(
                 QueryResponse(
                     non_sensitive_rows=(
@@ -487,3 +842,15 @@ class MultiCloud:
         """Clear every member's views and counters (between experiments)."""
         for server in self.servers:
             server.reset_observations()
+
+    def mark_all_recovered(self) -> None:
+        """Forget the failed-member exclusions.
+
+        Call after every member has been repaired or replaced *and*
+        re-outsourced — e.g. a re-binning rebuilds every member's slices from
+        scratch, which is exactly a fleet redeployment.  Members that are in
+        fact still down are re-detected (and re-excluded) by the next batch's
+        retry/failover machinery.
+        """
+        self.failed_members.clear()
+        self._member_errors.clear()

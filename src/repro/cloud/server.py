@@ -33,8 +33,7 @@ the cost model, so experiments do not depend on wall-clock noise.
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.adversary.view import AdversarialView, ViewLog
@@ -73,6 +72,27 @@ class CloudStatistics:
     #: (= relation size per query under a linear scan; far less when the tag
     #: index or the bin-addressed store applies).
     sensitive_rows_scanned: int = 0
+
+
+@dataclass(frozen=True)
+class ObservationSnapshot:
+    """A point-in-time capture of a server's observable side effects.
+
+    Taken at the start of a batch and restored when the member crashes
+    mid-batch: a crashed server loses the volatile state of its in-flight
+    work (views buffered, counters bumped, transfers half-logged), which is
+    exactly what lets a failover re-serve the batch on a replica without
+    double-counting the lost attempt.  Only *observations* are covered —
+    stored relations and indexes are durable and survive the restore.
+    """
+
+    view_count: int
+    stats: CloudStatistics
+    network_log_length: int
+    queries_issued: int
+    index_probe_counts: Tuple[Tuple[str, int], ...]
+    tag_probe_count: int
+    tag_rows_examined: int
 
 
 @dataclass(frozen=True)
@@ -154,7 +174,7 @@ class CloudServer:
         self._unassigned_sensitive: List[EncryptedRow] = []
         self.view_log = ViewLog()
         self.stats = CloudStatistics()
-        self._query_counter = itertools.count()
+        self._queries_issued = 0
 
     # -- outsourcing -------------------------------------------------------------
     def store_non_sensitive(self, relation: Relation) -> None:
@@ -349,7 +369,8 @@ class CloudServer:
         log entry, statistics increments, and network transfer, so batched
         and sequential execution are observationally identical.
         """
-        query_id = next(self._query_counter)
+        query_id = self._queries_issued
+        self._queries_issued += 1
 
         non_sensitive_rows: List[Row] = []
         if cleartext_values:
@@ -479,3 +500,43 @@ class CloudServer:
         self.view_log.clear()
         self.stats = CloudStatistics()
         self.network.reset()
+
+    # -- crash semantics -----------------------------------------------------------
+    def observation_snapshot(self) -> ObservationSnapshot:
+        """Capture the server's observable side effects (see the snapshot doc)."""
+        return ObservationSnapshot(
+            view_count=len(self.view_log),
+            stats=replace(self.stats),
+            network_log_length=len(self.network.log),
+            queries_issued=self._queries_issued,
+            index_probe_counts=tuple(
+                (attribute, index.probe_count)
+                for attribute, index in self._indexes.items()
+            ),
+            tag_probe_count=(
+                self._tag_index.probe_count if self._tag_index is not None else 0
+            ),
+            tag_rows_examined=(
+                self._tag_index.rows_examined if self._tag_index is not None else 0
+            ),
+        )
+
+    def restore_observations(self, snapshot: ObservationSnapshot) -> None:
+        """Roll observable side effects back to ``snapshot``.
+
+        Models a member crash: everything the member buffered for the
+        in-flight batch — views, statistics, network log entries, index
+        counters, the query-id counter — is lost with the process, leaving
+        only the state that existed when the batch started.  Durable storage
+        (relations, ciphertexts, indexes' contents) is untouched.
+        """
+        del self.view_log.views[snapshot.view_count:]
+        self.stats = replace(snapshot.stats)
+        del self.network.log[snapshot.network_log_length:]
+        self._queries_issued = snapshot.queries_issued
+        for attribute, probe_count in snapshot.index_probe_counts:
+            if attribute in self._indexes:
+                self._indexes[attribute].probe_count = probe_count
+        if self._tag_index is not None:
+            self._tag_index.probe_count = snapshot.tag_probe_count
+            self._tag_index.rows_examined = snapshot.tag_rows_examined

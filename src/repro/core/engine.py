@@ -206,6 +206,15 @@ class QueryBinningEngine(_PartitionedEngineBase):
         halves out to the fleet concurrently.  The single ``cloud`` server
         stays fully populated either way — it is the sequential reference
         the parity tests compare the fleet against.
+    replication_factor:
+        How many fleet members hold each sensitive bin's slice (primary
+        included).  ``k ≥ 2`` lets sharded execution survive up to ``k - 1``
+        member failures per bin: the fleet re-routes a failed member's
+        in-flight halves to a live replica mid-batch with results, views,
+        and statistics identical to a healthy run (degraded mode).  Replica
+        placement never co-locates a bin's token slice with its paired
+        cleartext traffic, so replication preserves the non-collusion
+        guarantee; it costs ``k``× cloud-side ciphertext storage.
     plaintext_cache_bins:
         How many sensitive bins' decrypted rows the owner may keep (FIFO
         eviction; ``None`` = unbounded, ``0`` disables the cache).
@@ -225,6 +234,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
         multi_cloud: Optional[MultiCloud] = None,
         shard_policy: str = "hash",
         shard_max_workers: Optional[int] = None,
+        replication_factor: int = 1,
         plaintext_cache_bins: Optional[int] = 1024,
     ):
         super().__init__(partition, attribute, scheme, cloud)
@@ -232,6 +242,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
         self.multi_cloud = multi_cloud
         self.shard_policy = shard_policy
         self.shard_max_workers = shard_max_workers
+        self.replication_factor = replication_factor
         self.shard_router: Optional[ShardRouter] = None
         self._rng = rng if rng is not None else (
             random.Random(permutation_seed) if permutation_seed is not None else None
@@ -335,6 +346,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
                 self.layout.num_non_sensitive_bins,
                 len(self.multi_cloud),
                 policy=self.shard_policy,
+                replication_factor=self.replication_factor,
             )
             self.multi_cloud.outsource_sharded(
                 self.attribute,
@@ -568,7 +580,13 @@ class QueryBinningEngine(_PartitionedEngineBase):
                 # in flight on other members.  Keyed by list identity so
                 # deduplicated retrievals decrypt once, exactly as below;
                 # routed through the per-bin plaintext cache so warm bins
-                # skip decryption entirely.
+                # skip decryption entirely.  Under member failure the fleet
+                # invokes this exactly once per half — for the replica's
+                # response, never the crashed attempt's — and a replica's
+                # slice holds the same ciphertexts as the primary's, so the
+                # per-bin plaintext cache stays placement-agnostic: a bin
+                # decrypted from a replica serves later primary retrievals
+                # and vice versa.
                 if response.encrypted_rows:
                     cache_key = id(response.encrypted_rows)
                     if cache_key not in decrypted_cache:

@@ -91,6 +91,33 @@ SHARD_POLICIES: Dict[str, Callable[[Sequence[object], int], Dict[object, int]]] 
 }
 
 
+def replica_chain(
+    primary: int, num_shards: int, replication_factor: int
+) -> tuple:
+    """The ordered members holding one slice under k-way replication.
+
+    The chain is the primary followed by its successors on the member ring —
+    a pure function of ``(primary, num_shards, replication_factor)``, so
+    replica placement is as deterministic (and as rebuild-safe) as primary
+    placement.  Keeping replicas *contiguous after the primary* is what lets
+    the shard router carve the ring into a token segment and a cleartext
+    segment per sensitive bin: every replica stays inside the token segment,
+    so replication can never co-locate a bin's token slice with its paired
+    cleartext traffic (see :class:`repro.cloud.multi_cloud.ShardRouter`).
+    """
+    if replication_factor < 1:
+        raise PartitioningError(
+            f"replication_factor must be at least 1, got {replication_factor}"
+        )
+    if replication_factor > num_shards:
+        raise PartitioningError(
+            f"cannot place {replication_factor} replicas on {num_shards} shards"
+        )
+    return tuple(
+        (primary + step) % num_shards for step in range(replication_factor)
+    )
+
+
 @dataclass
 class SensitivityPolicy:
     """Declarative description of what makes a row or a column sensitive.

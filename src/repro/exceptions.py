@@ -48,6 +48,29 @@ class CloudError(ReproError):
     """The (simulated) cloud could not execute the requested operation."""
 
 
+class MemberFailure(CloudError):
+    """A multi-cloud fleet member crashed (or was killed) while serving.
+
+    The crash signal the fleet coordinator narrows on: a member's batch
+    raising this is retried and then failed over to a live replica.  Real
+    member implementations (or their RPC boundary) wrap transport-level
+    outages in it; other :class:`CloudError` subclasses are deterministic
+    request/configuration errors and propagate to the caller instead of
+    marking healthy members failed.
+    """
+
+
+class FleetDegradedError(CloudError):
+    """Too many members failed: a request half has no live replica left.
+
+    Raised by :meth:`repro.cloud.multi_cloud.MultiCloud.process_batch` when
+    every candidate member for some request half (the bin's primary and all
+    of its replicas, or every cleartext-capable member) is in the failed
+    set — the fleet cannot serve the batch without violating either
+    availability or the non-collusion placement rules.
+    """
+
+
 class SecurityViolation(ReproError):
     """A partitioned-data-security invariant was found to be violated."""
 

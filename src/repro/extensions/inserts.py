@@ -98,10 +98,21 @@ class IncrementalInserter:
         to — the single reference server and, when attached, the whole
         sharded fleet — so the fleet-vs-reference parity invariants hold
         across a rebin exactly as they do from a fresh setup.
+
+        For a sharded engine a rebin is also a fleet redeployment: the
+        engine's ``setup()`` rebuilds the :class:`ShardRouter` as a pure
+        function of (new bin counts, policy, fleet size, replication
+        factor), so primary *and replica* placement of the rebuilt layout is
+        deterministic, and every member — replicas included — receives its
+        slices from scratch.  Members previously excluded as failed are
+        therefore marked recovered (a deployment that re-outsources to a
+        member has, by definition, replaced it); a member that is in fact
+        still down is re-detected by the next batch's failover machinery.
         """
         self.engine.cloud.reset_observations()
         if self.engine.multi_cloud is not None:
             self.engine.multi_cloud.reset_observations()
+            self.engine.multi_cloud.mark_all_recovered()
         self.engine.setup()
         self.stats.rebins_triggered += 1
         self._new_values_since_rebin = 0

@@ -54,13 +54,18 @@ class DBOwner:
         num_clouds: Optional[int] = None,
         shard_policy: str = "hash",
         shard_max_workers: Optional[int] = None,
+        replication_factor: int = 1,
     ):
         """``num_clouds`` (≥2) outsources every attribute to a sharded
         :class:`MultiCloud` fleet of that size in addition to the reference
         server, unlocking ``execute_workload(..., placement="sharded")``;
         ``shard_policy`` picks how bins map to members (``"hash"`` or
         ``"range"``) and ``shard_max_workers`` bounds the fleet's service
-        threads (default: one per member)."""
+        threads (default: one per member).  ``replication_factor`` (≥1, at
+        most ``num_clouds - 1``) stores each sensitive bin's slice on that
+        many members so sharded execution survives member failures; replica
+        placement respects the non-collusion rules (a bin's replica never
+        lands on a member serving its paired cleartext traffic)."""
         self.relation = relation
         self.policy = policy
         self.keystore = keystore or KeyStore()
@@ -70,6 +75,7 @@ class DBOwner:
         self._num_clouds = num_clouds
         self._shard_policy = shard_policy
         self._shard_max_workers = shard_max_workers
+        self._replication_factor = replication_factor
         self.partition: PartitionResult = partition_relation(relation, policy)
         self._engines: Dict[str, QueryBinningEngine] = {}
         self._schemes: Dict[str, EncryptedSearchScheme] = {}
@@ -130,6 +136,7 @@ class DBOwner:
             multi_cloud=multi_cloud,
             shard_policy=self._shard_policy,
             shard_max_workers=self._shard_max_workers,
+            replication_factor=self._replication_factor,
         )
         engine.setup()
         self._engines[attribute] = engine

@@ -10,7 +10,8 @@ import pytest
 
 from repro.adversary.view import AdversarialView
 from repro.cloud.multi_cloud import MultiCloud
-from repro.cloud.server import CloudServer
+from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
+from repro.exceptions import MemberFailure
 from repro.core.engine import ExecutionTrace, NaivePartitionedEngine, QueryBinningEngine
 from repro.crypto.nondeterministic import NonDeterministicScheme
 from repro.crypto.primitives import SecretKey
@@ -153,6 +154,8 @@ class ExecutionParityHarness:
         use_encrypted_indexes: bool = True,
         permutation_seed: int = 17,
         key_phrase: str = "parity-key",
+        replication_factor: int = 1,
+        server_factory: Optional[Callable[..., CloudServer]] = None,
     ):
         self.dataset = dataset
         self.scheme_factory = scheme_factory
@@ -161,6 +164,8 @@ class ExecutionParityHarness:
         self.use_encrypted_indexes = use_encrypted_indexes
         self.permutation_seed = permutation_seed
         self.key_phrase = key_phrase
+        self.replication_factor = replication_factor
+        self.server_factory = server_factory
 
     # -- construction --------------------------------------------------------
     def make_engine(self, sharded: bool = False) -> QueryBinningEngine:
@@ -174,11 +179,13 @@ class ExecutionParityHarness:
                 MultiCloud(
                     self.num_shards,
                     use_encrypted_indexes=self.use_encrypted_indexes,
+                    server_factory=self.server_factory,
                 )
                 if sharded
                 else None
             ),
             shard_policy=self.shard_policy,
+            replication_factor=self.replication_factor,
         )
         return engine.setup()
 
@@ -354,6 +361,246 @@ class ExecutionParityHarness:
         )
 
 
+# -- fault-injection harness ----------------------------------------------------
+#
+# The fault-tolerance claim mirrors the parity claim: killing any single
+# fleet member at any point of a sharded batch must be unobservable — the
+# degraded run returns the same rows, records the same per-query adversarial
+# information (on different members), and aggregates to the same statistics
+# as the healthy run.  ``FaultInjectingCloudServer`` is the chaos agent;
+# ``FaultInjectionHarness`` runs healthy/degraded pairs and asserts the
+# equivalence, for any scheme, member, and failure point.
+
+
+class FaultInjectingCloudServer(CloudServer):
+    """A :class:`CloudServer` that can crash on command.
+
+    ``schedule_failure`` arms the member: its next ``process_batch`` call
+    serves the first ``at_offset`` requests, then crashes — it rolls its
+    observations back to the batch-start snapshot (a crashed process loses
+    the volatile state of in-flight work) and raises
+    :class:`~repro.exceptions.MemberFailure`.  ``failures`` controls how
+    many calls fail (transient faults recover afterwards); ``permanent``
+    marks the member dead so every later call fails immediately, modelling
+    a machine that stays down.
+    """
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._fail_at_offset: Optional[int] = None
+        self._failures_remaining = 0
+        self._fail_permanently = True
+        self.dead = False
+        self.failures_injected = 0
+
+    def schedule_failure(
+        self, at_offset: int = 0, failures: int = 1, permanent: bool = True
+    ) -> None:
+        """Arm the member to crash ``at_offset`` requests into its batches."""
+        self._fail_at_offset = at_offset
+        self._failures_remaining = failures
+        self._fail_permanently = permanent
+
+    def process_batch(self, requests: Sequence[BatchRequest]) -> List[QueryResponse]:
+        if self.dead:
+            self.failures_injected += 1
+            raise MemberFailure(f"{self.name} is down")
+        if self._failures_remaining <= 0 or self._fail_at_offset is None:
+            return super().process_batch(requests)
+        snapshot = self.observation_snapshot()
+        crash_offset = min(self._fail_at_offset, len(requests))
+        if crash_offset:
+            # The member really does the prefix's work (views recorded,
+            # counters bumped) before dying — the restore below is what
+            # guarantees the lost attempt never double-counts.
+            super().process_batch(list(requests[:crash_offset]))
+        self.restore_observations(snapshot)
+        self._failures_remaining -= 1
+        self.failures_injected += 1
+        if self._fail_permanently:
+            self.dead = True
+        raise MemberFailure(
+            f"{self.name} crashed after {crash_offset} of {len(requests)} requests"
+        )
+
+
+class FaultInjectionHarness(ExecutionParityHarness):
+    """Kills chosen fleet members at chosen batch offsets and proves parity.
+
+    Extends :class:`ExecutionParityHarness`: the healthy reference comes from
+    ``run("sharded", workload)`` exactly as in the parity suite (the fault
+    servers are benign until armed), ``run_with_failure`` replays the same
+    workload on a fresh fleet with one member scheduled to crash, and
+    ``assert_degraded_parity`` pins results, traces, per-query view content,
+    and fleet-aggregated statistics of the degraded run to the healthy run.
+    Defaults to a 4-member fleet with 2-way replication — the smallest shape
+    where any single member can die and every bin keeps a live replica.
+    """
+
+    def __init__(
+        self,
+        dataset,
+        scheme_factory: Callable[..., object],
+        num_shards: int = 4,
+        replication_factor: int = 2,
+        **kwargs,
+    ):
+        super().__init__(
+            dataset,
+            scheme_factory,
+            num_shards=num_shards,
+            replication_factor=replication_factor,
+            server_factory=FaultInjectingCloudServer,
+            **kwargs,
+        )
+
+    # -- failure-point selection ---------------------------------------------
+    def member_loads(self, run: StrategyRun, workload: Sequence[object]) -> List[int]:
+        """How many half requests each member serves on a healthy run."""
+        assert run.fleet is not None and run.engine.shard_router is not None
+        requests, _slots = run.engine.build_requests(list(workload))
+        per_server, _placements = run.fleet.split_requests(
+            requests, run.engine.shard_router
+        )
+        return [len(batch) for batch in per_server]
+
+    def busiest_member(
+        self, run: StrategyRun, workload: Sequence[object]
+    ) -> Tuple[int, int]:
+        """(member index, its half-request load) — a victim with in-flight work."""
+        loads = self.member_loads(run, workload)
+        victim = max(range(len(loads)), key=loads.__getitem__)
+        return victim, loads[victim]
+
+    # -- degraded execution ---------------------------------------------------
+    def run_with_failure(
+        self,
+        workload: Sequence[object],
+        victim: int,
+        at_offset: int,
+        failures: int = 1,
+        permanent: bool = True,
+    ) -> StrategyRun:
+        """The sharded run with ``victim`` crashing ``at_offset`` into its batch."""
+        engine = self.make_engine(sharded=True)
+        assert engine.multi_cloud is not None
+        engine.multi_cloud[victim].schedule_failure(
+            at_offset=at_offset, failures=failures, permanent=permanent
+        )
+        outcome = engine.execute_workload_with_rows(
+            list(workload), placement="sharded"
+        )
+        return StrategyRun(
+            placement="sharded",
+            engine=engine,
+            result_rids=[sorted(row.rid for row in rows) for rows, _trace in outcome],
+            traces=[trace for _rows, trace in outcome],
+        )
+
+    # -- view reconstruction ---------------------------------------------------
+    @staticmethod
+    def _view_content(view: AdversarialView) -> Tuple:
+        """A view's observable content, minus the per-server query id."""
+        return (
+            view.attribute,
+            view.non_sensitive_request,
+            view.sensitive_request_size,
+            tuple(row.rid for row in view.returned_non_sensitive),
+            view.returned_sensitive_rids,
+            view.sensitive_bin_index,
+            view.non_sensitive_bin_index,
+        )
+
+    def half_view_contents(
+        self, run: StrategyRun
+    ) -> List[Tuple[Optional[Tuple], Optional[Tuple]]]:
+        """(sensitive half, cleartext half) view content per request, as served.
+
+        Uses the fleet's :class:`FleetBatchReport` — the *actual* post-failover
+        placements — rather than replaying the healthy routing plan, so it is
+        meaningful for degraded runs.
+        """
+        assert run.fleet is not None
+        report = run.fleet.last_report
+        assert report is not None, "run a sharded workload first"
+
+        def view_at(placement):
+            if placement is None:
+                return None
+            server_index, position = placement
+            return self._view_content(
+                run.fleet[server_index].view_log.views[position]
+            )
+
+        return [
+            (view_at(sensitive_placement), view_at(cleartext_placement))
+            for sensitive_placement, cleartext_placement in report.placements
+        ]
+
+    # -- assertions ------------------------------------------------------------
+    def assert_degraded_parity(
+        self, healthy: StrategyRun, degraded: StrategyRun
+    ) -> None:
+        """Degraded execution is observationally identical to healthy execution."""
+        # the application sees the same rows...
+        assert degraded.result_rids == healthy.result_rids
+        # ...and the same traces, transfer accounting included (both runs are
+        # sharded, so unlike the cross-placement comparison no latency
+        # adjustment applies: a replica's round trip costs what the failed
+        # primary's would have).
+        assert len(degraded.traces) == len(healthy.traces)
+        for ours, theirs in zip(degraded.traces, healthy.traces):
+            assert ours.query == theirs.query
+            assert ours.binned == theirs.binned
+            assert ours.sensitive_values_requested == theirs.sensitive_values_requested
+            assert (
+                ours.non_sensitive_values_requested
+                == theirs.non_sensitive_values_requested
+            )
+            assert ours.encrypted_rows_returned == theirs.encrypted_rows_returned
+            assert ours.non_sensitive_rows_returned == theirs.non_sensitive_rows_returned
+            assert ours.rows_after_merge == theirs.rows_after_merge
+            assert ours.transfer_seconds == pytest.approx(theirs.transfer_seconds)
+        # the fleet as a whole observed exactly the same information: every
+        # query's two half views exist with identical content (on possibly
+        # different members — that is the failover), ...
+        assert self.half_view_contents(degraded) == self.half_view_contents(healthy)
+        # ...statistics aggregate to the same totals (the crashed member's
+        # lost partial work must not be double-counted anywhere), ...
+        stat_fields = [
+            "queries_served",
+            "sensitive_tokens_processed",
+            "sensitive_rows_returned",
+            "non_sensitive_rows_returned",
+            "non_sensitive_probes",
+        ]
+        if self.use_encrypted_indexes:
+            # Indexed paths examine exactly one bin's slice wherever it is
+            # served; the linear-scan fallback legitimately scans a replica's
+            # (differently sized) whole store instead.
+            stat_fields.append("sensitive_rows_scanned")
+        assert healthy.fleet is not None and degraded.fleet is not None
+        for field_name in stat_fields:
+            assert degraded.fleet.aggregate_stat(field_name) == healthy.fleet.aggregate_stat(
+                field_name
+            ), field_name
+        assert degraded.fleet.total_transfer_tuples("download") == (
+            healthy.fleet.total_transfer_tuples("download")
+        )
+        # ...and failover never weakened non-collusion: replica service
+        # included, no member ever saw both halves of a request.
+        self.assert_no_member_saw_both_halves(degraded)
+
+    @staticmethod
+    def assert_no_member_saw_both_halves(run: StrategyRun) -> None:
+        assert run.fleet is not None
+        for server in run.fleet.servers:
+            for view in server.view_log:
+                assert not (
+                    bool(view.non_sensitive_request) and view.sensitive_request_size > 0
+                ), f"{server.name} observed both halves of a request"
+
+
 @pytest.fixture(scope="session")
 def parity_dataset():
     """A general-case dataset (skew forces fake tuples) for parity suites."""
@@ -380,6 +627,30 @@ def parity_harness(parity_dataset):
 
     def _make(scheme_factory, dataset=None, **kwargs) -> ExecutionParityHarness:
         return ExecutionParityHarness(
+            dataset if dataset is not None else parity_dataset,
+            scheme_factory,
+            **kwargs,
+        )
+
+    return _make
+
+
+@pytest.fixture
+def fault_harness(parity_dataset):
+    """Factory for :class:`FaultInjectionHarness` over the shared dataset.
+
+    Usage::
+
+        harness = fault_harness(DeterministicScheme)
+        workload = harness.workload()
+        healthy = harness.run("sharded", workload)
+        victim, load = harness.busiest_member(healthy, workload)
+        degraded = harness.run_with_failure(workload, victim, at_offset=load // 2)
+        harness.assert_degraded_parity(healthy, degraded)
+    """
+
+    def _make(scheme_factory, dataset=None, **kwargs) -> FaultInjectionHarness:
+        return FaultInjectionHarness(
             dataset if dataset is not None else parity_dataset,
             scheme_factory,
             **kwargs,
