@@ -27,12 +27,26 @@ Two configurations bound the design space:
 Methodology: each fleet size serves the workload once to warm the owner's
 per-bin token and plaintext caches, then the best of a few repeat runs is
 reported — steady-state throughput, the regime a long-running deployment
-lives in.  The dataset uses one tuple per value, which maximises the bin
-count at a given relation size and therefore the fraction of per-query cost
-that is cloud-side scanning (the part a fleet divides); owner-side
-per-query costs (merging, trace building) are identical across fleet sizes
-and are deliberately left inside the timed region, so the reported speedups
-are end-to-end, not cloud-only.
+lives in.  The clouds' cross-batch retrieval interning is flushed before
+every pass (see ``_flush_cloud_retrievals``): a warm retrieval cache would
+turn every repeat into pure fixed cost — no scans, no trial decryption —
+and this benchmark exists to measure the *compute* regime a fleet divides;
+within a pass each distinct request is still computed once, the original
+per-batch dedup semantics.  The dataset uses one tuple per value, which
+maximises the bin count at a given relation size and therefore the fraction
+of per-query cost that is cloud-side scanning (the part a fleet divides);
+owner-side per-query costs (merging, trace building) are identical across
+fleet sizes and are deliberately left inside the timed region, so the
+reported speedups are end-to-end, not cloud-only.
+
+A third dimension — ``process_members`` — measures the GIL escape: the same
+sharded workload under SSE (trial decryption, the CPU-bound scheme) with
+``member_backend="process"`` versus threads versus one server.  Every run
+records the deterministic division of trial-decryption work
+(``max_member_rows_scanned_per_query``) alongside wall clock, plus the
+``usable_cpus`` the numbers were measured under — on a single-core
+container the workers are time-sliced and wall clock cannot reflect the
+(still real, still asserted) work split.
 
 A second dimension — ``fault_tolerance`` — measures what replication and
 failover cost: the same sharded workload at 4 servers with
@@ -63,6 +77,7 @@ auto-collects ``test_*.py``; the default-run failover coverage lives in
 from __future__ import annotations
 
 import json
+import os
 import random
 import sys
 import time
@@ -78,12 +93,22 @@ if __package__ in (None, ""):  # direct script execution: mirror conftest.py
 import pytest
 
 from repro.cloud.multi_cloud import MultiCloud
+from repro.cloud.process_member import process_backend_available
 from repro.cloud.server import CloudServer
 from repro.core.engine import QueryBinningEngine
 from repro.crypto.deterministic import DeterministicScheme
+from repro.crypto.searchable import SSEScheme
 from repro.crypto.primitives import SecretKey
 
 from benchmarks.helpers import print_table
+
+
+def _usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity beats cpu_count)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 DEFAULT_SIZES: Tuple[int, ...] = (100_000,)
 DEFAULT_SERVER_COUNTS: Tuple[int, ...] = (1, 2, 4)
@@ -145,6 +170,24 @@ def _scanned_rows(engine, server_count: int) -> int:
     return engine.multi_cloud.aggregate_stat("sensitive_rows_scanned")
 
 
+def _flush_cloud_retrievals(engine, server_count: int) -> None:
+    """Drop the clouds' interned retrievals (owner-side caches stay warm).
+
+    The engine's cross-batch retrieval interning (PR 5) would otherwise turn
+    every measured repeat of the workload into pure fixed cost — no scans,
+    no trial decryption — and the scaling benchmarks exist to measure the
+    *compute* regime a fleet divides.  Flushing between passes restores the
+    original methodology exactly: within a pass each distinct request is
+    computed once (the old per-batch dedup), across passes it is computed
+    again.  Owner caches (tokens, interned requests, plaintexts) stay warm,
+    as before.
+    """
+    engine.cloud.invalidate_retrievals()
+    if server_count > 1:
+        for server in engine.multi_cloud.servers:
+            server.invalidate_retrievals()
+
+
 def _measure(
     engine, server_count: int, workload, warmup: int = 1, repeats: int = 3
 ) -> Tuple[Dict, list]:
@@ -155,11 +198,13 @@ def _measure(
     """
     placement = "batched" if server_count == 1 else "sharded"
     for _ in range(warmup):
+        _flush_cloud_retrievals(engine, server_count)
         engine.execute_workload_with_rows(workload, placement=placement)
     best = float("inf")
     outcome = None
     scanned = 0
     for _ in range(repeats):
+        _flush_cloud_retrievals(engine, server_count)
         scanned_before = _scanned_rows(engine, server_count)
         started = time.perf_counter()
         outcome = engine.execute_workload_with_rows(workload, placement=placement)
@@ -347,6 +392,149 @@ def print_fault_tolerance(section: Dict) -> None:
         )
 
 
+def run_process_member_comparison(
+    size: int,
+    server_count: int = 4,
+    queries: int = 120,
+    seed: int = 29,
+    warmup: int = 1,
+    repeats: int = 2,
+) -> Dict:
+    """SSE trial decryption: 1 server vs. thread members vs. process members.
+
+    SSE is the scheme the GIL hurts: the cloud must PRF-test every (row,
+    token) pair of the addressed bin, pure Python+hashlib CPU work.  The
+    thread backend divides the *rows* across members but time-slices the
+    compute on one core; the process backend runs the same division on
+    actual cores.  Both fleets must return bit-identical results (checked).
+
+    Alongside wall clock the comparison records the deterministic driver:
+    ``max_member_rows_scanned_per_query`` — the largest per-member
+    trial-decryption load.  The fleet divides work whenever that figure is
+    well below the single-server ``rows_scanned_per_query``; whether the
+    division shows up in qps depends on ``usable_cpus`` (a single-core
+    container serialises the workers however the work is split, so the
+    committed numbers carry the cpu count they were measured on).
+    """
+    dataset = _build_dataset(size, seed)
+    rng = random.Random(seed + 1)
+    workload = [rng.choice(dataset.all_values) for _ in range(queries)]
+    configs = [("1-server", 1, None), ("4-thread-members", server_count, "thread")]
+    if process_backend_available():
+        configs.append(("4-process-members", server_count, "process"))
+    runs: Dict[str, Dict] = {}
+    reference_rids = None
+    rids_match = True
+    for label, count, backend in configs:
+        engine = QueryBinningEngine(
+            partition=dataset.partition,
+            attribute=dataset.attribute,
+            scheme=SSEScheme(SecretKey.from_passphrase("bench-multicloud")),
+            cloud=CloudServer(),
+            rng=random.Random(13),
+            multi_cloud=(
+                MultiCloud(count, member_backend=backend) if count >= 2 else None
+            ),
+        )
+        engine.setup()
+        measured, result_rids = _measure(
+            engine, count, workload, warmup=warmup, repeats=repeats
+        )
+        measured["member_backend"] = backend or "none"
+        if count >= 2:
+            per_member = [
+                server.stats.sensitive_rows_scanned
+                for server in engine.multi_cloud.servers
+            ]
+            # cumulative across warmup+repeats; scale to one workload pass
+            passes = warmup + repeats
+            measured["max_member_rows_scanned_per_query"] = max(per_member) / (
+                passes * queries
+            )
+            engine.multi_cloud.close()
+        else:
+            measured["max_member_rows_scanned_per_query"] = measured[
+                "rows_scanned_per_query"
+            ]
+        if reference_rids is None:
+            reference_rids = result_rids
+        else:
+            rids_match = rids_match and (result_rids == reference_rids)
+        runs[label] = measured
+    baseline_qps = runs["1-server"]["queries_per_second"]
+    for measured in runs.values():
+        measured["speedup_vs_single"] = (
+            measured["queries_per_second"] / baseline_qps
+            if baseline_qps
+            else float("inf")
+        )
+    return {
+        "relation_rows": size,
+        "queries": queries,
+        "scheme": "sse",
+        "server_count": server_count,
+        "usable_cpus": _usable_cpus(),
+        "runs": runs,
+        "result_rids_match": rids_match,
+    }
+
+
+def run_process_member_suite(
+    sizes: Sequence[int] = (20_000,),
+    out_path: Optional[Path] = OUTPUT_PATH,
+    seed: int = 29,
+) -> Dict:
+    """Sweep sizes for the process-member comparison; fold into the trajectory."""
+    section: Dict = {
+        "benchmark": "process_members",
+        "scheme": "sse",
+        "server_count": 4,
+        "usable_cpus": _usable_cpus(),
+        "note": (
+            "wall-clock scaling needs >= server_count usable CPUs; with fewer, "
+            "workers time-slice one core and qps reflects IPC overhead, while "
+            "the division of trial-decryption work is still proven by "
+            "max_member_rows_scanned_per_query (~1/server_count of the "
+            "single-server per-query load)"
+        ),
+        "sizes": [run_process_member_comparison(size, seed=seed) for size in sizes],
+    }
+    if out_path is not None:
+        trajectory = json.loads(out_path.read_text()) if out_path.exists() else {}
+        trajectory["process_members"] = section
+        out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return section
+
+
+def print_process_members(section: Dict) -> None:
+    for comparison in section["sizes"]:
+        rows = []
+        for label, measured in comparison["runs"].items():
+            rows.append(
+                (
+                    label,
+                    f"{measured['queries_per_second']:.1f}",
+                    f"{measured['rows_scanned_per_query']:.1f}",
+                    f"{measured['max_member_rows_scanned_per_query']:.1f}",
+                    f"{measured['speedup_vs_single']:.2f}x",
+                )
+            )
+        parity = "ok" if comparison["result_rids_match"] else "MISMATCH"
+        print_table(
+            f"process members (SSE) @ {comparison['relation_rows']} rows, "
+            f"{comparison['usable_cpus']} usable cpus "
+            f"(result parity: {parity})",
+            [
+                "config",
+                "qps",
+                "rows trialed/query",
+                "max rows trialed/query/member",
+                "vs 1 server",
+            ],
+            rows,
+        )
+
+
 def run_multicloud_suite(
     sizes: Sequence[int] = DEFAULT_SIZES,
     server_counts: Sequence[int] = DEFAULT_SERVER_COUNTS,
@@ -461,6 +649,55 @@ def test_failover_overhead_acceptance():
 
 
 @pytest.mark.perf
+def test_process_member_parity_smoke():
+    """Fast default-run check: process-backed members return bit-identical
+    results to threads and the single server, and divide the SSE
+    trial-decryption work across members (deterministic counters)."""
+    comparison = run_process_member_comparison(
+        2_000, queries=40, warmup=1, repeats=1
+    )
+    assert comparison["result_rids_match"] is True
+    single = comparison["runs"]["1-server"]
+    assert single["queries_per_second"] > 0
+    if "4-process-members" in comparison["runs"]:
+        fleet = comparison["runs"]["4-process-members"]
+        # the fleet's busiest member trial-decrypts well under the whole
+        # relation's per-query load: the work really is divided
+        assert fleet["max_member_rows_scanned_per_query"] < (
+            0.6 * single["rows_scanned_per_query"]
+        )
+
+
+@pytest.mark.perf
+@pytest.mark.slowperf
+def test_process_member_scaling_acceptance():
+    """The acceptance bar for the GIL escape: ≥1.5x SSE qps at 4
+    process-backed members vs. 1 server.
+
+    Parallel speedup needs parallel hardware: on a container restricted to
+    fewer than 4 usable CPUs the workers are time-sliced onto the same
+    cores and wall clock cannot reflect the (still measured, still asserted)
+    work division, so the wall-clock bar is skipped there — the committed
+    ``BENCH_throughput.json`` records ``usable_cpus`` alongside the numbers.
+    """
+    comparison = run_process_member_comparison(20_000, queries=120)
+    print_process_members({"sizes": [comparison]})
+    assert comparison["result_rids_match"] is True
+    single = comparison["runs"]["1-server"]
+    fleet = comparison["runs"].get("4-process-members")
+    assert fleet is not None, "process backend unavailable on this platform"
+    assert fleet["max_member_rows_scanned_per_query"] < (
+        0.6 * single["rows_scanned_per_query"]
+    )
+    if comparison["usable_cpus"] < 4:
+        pytest.skip(
+            f"only {comparison['usable_cpus']} usable CPUs: process members "
+            "cannot run in parallel here, wall-clock bar not meaningful"
+        )
+    assert fleet["speedup_vs_single"] >= 1.5
+
+
+@pytest.mark.perf
 @pytest.mark.slowperf
 def test_multicloud_scaling_acceptance():
     """The acceptance bar: ≥1.5x qps at 4 servers vs. 1 at 100k rows.
@@ -489,4 +726,6 @@ if __name__ == "__main__":
     print_results(suite_section)
     fault_section = run_fault_tolerance_suite()
     print_fault_tolerance(fault_section)
+    process_section = run_process_member_suite()
+    print_process_members(process_section)
     print(f"\ntrajectory written to {OUTPUT_PATH}")

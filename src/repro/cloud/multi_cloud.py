@@ -71,19 +71,41 @@ statistics as a healthy run.  When a half's candidates are all dead the
 batch raises :class:`~repro.exceptions.FleetDegradedError` instead of
 hanging or silently dropping requests.
 
-Concurrency
------------
+Concurrency and member backends
+-------------------------------
 :meth:`MultiCloud.process_batch` splits a batch per member and serves the
-per-member batches on a thread pool.  Each member's state is touched by only
-one worker, and each member processes its requests in arrival order, so
-per-server view logs, statistics, and network charges are deterministic
-regardless of thread scheduling.  Members do share one
-:class:`EncryptedSearchScheme` object (the keys are the owner's); schemes
-whose cloud-side matching mutates internal counters declare
-``concurrent_search_safe = False`` and are served one member at a time
-rather than racing on ``+=``.  The optional ``response_consumer`` runs in
-the *calling* thread as members complete, which is what lets the query engine
-overlap owner-side decryption with the remaining members' searches — under
+per-member batches concurrently.  Two backends place the member compute:
+
+``member_backend="thread"`` (default)
+    every member is an in-process :class:`CloudServer` served on a thread
+    pool.  Cheap and zero-copy, but all members compute under the
+    coordinator's GIL: CPU-bound cloud work (SSE trial decryption above
+    all) is time-sliced, not parallel.  Members share one
+    :class:`EncryptedSearchScheme` object (the keys are the owner's);
+    schemes whose cloud-side matching mutates internal counters declare
+    ``concurrent_search_safe = False`` and are served one member at a time
+    rather than racing on ``+=``.
+
+``member_backend="process"``
+    every member's server lives in its own worker process behind a
+    :class:`~repro.cloud.process_member.ProcessMemberProxy`.  Requests and
+    responses are picklable wire types; observations sync back to the
+    coordinator in per-batch deltas, so adversary/auditor code still sees
+    exactly the single-server information split.  The coordinator threads
+    release the GIL while waiting on worker pipes, which is what finally
+    lets trial-decryption work scale with member count on multi-core
+    hardware.  Each worker holds its *own* scheme copy, so
+    ``concurrent_search_safe = False`` schemes need no serialisation (their
+    internal work counters then tally per-worker work and are not synced
+    back to the owner's scheme object).  Call :meth:`MultiCloud.close`
+    (or use the fleet as a context manager) to reap the workers.
+
+Either way each member's state is touched by only one worker at a time, and
+each member processes its requests in arrival order, so per-server view
+logs, statistics, and network charges are deterministic regardless of
+scheduling.  The optional ``response_consumer`` runs in the *calling*
+thread as members complete, which is what lets the query engine overlap
+owner-side decryption with the remaining members' searches — under
 failover it is invoked exactly once per half, whenever the half's serving
 member (original or replica) completes.
 """
@@ -95,6 +117,7 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.cloud.network import NetworkModel
+from repro.cloud.process_member import ProcessMemberProxy
 from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
 from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
 from repro.data.partition import SHARD_POLICIES, replica_chain, stable_item_hash
@@ -213,6 +236,15 @@ class ShardRouter:
         self._non_sensitive_raw: Dict[object, int] = assign(
             range(num_non_sensitive_bins), num_shards
         )
+        # Routing is a pure function of the (immutable) assignment tables,
+        # and QB workloads revisit the same bin pairs constantly, so the
+        # per-request candidate chains are memoised — the hot batch-planning
+        # path then does one dict probe per half instead of rebuilding ring
+        # tuples per query.
+        self._candidate_memo: Dict[
+            Tuple[Optional[int], Optional[int], bool, bool],
+            Tuple[Optional[Tuple[int, ...]], Optional[Tuple[int, ...]]],
+        ] = {}
 
     # -- bin-level placement -------------------------------------------------
     def shard_of_sensitive(self, bin_index: int) -> int:
@@ -265,8 +297,18 @@ class ShardRouter:
 
         First entries are the healthy-fleet placement (identical to
         :meth:`route`); the rest are the failover order.  A half the request
-        does not carry maps to ``None``.
+        does not carry maps to ``None``.  Memoised per (bin pair, carried
+        halves) — see the constructor comment.
         """
+        memo_key = (
+            request.sensitive_bin_index,
+            request.non_sensitive_bin_index,
+            request.has_sensitive_half,
+            request.has_non_sensitive_half,
+        )
+        cached = self._candidate_memo.get(memo_key)
+        if cached is not None:
+            return cached
         anchor = 0
         if request.sensitive_bin_index is not None:
             anchor = self.shard_of_sensitive(request.sensitive_bin_index)
@@ -280,6 +322,7 @@ class ShardRouter:
             non_sensitive = self.cleartext_candidates(
                 request.non_sensitive_bin_index, anchor
             )
+        self._candidate_memo[memo_key] = (sensitive, non_sensitive)
         return sensitive, non_sensitive
 
     def route(self, request: BatchRequest) -> Tuple[Optional[int], Optional[int]]:
@@ -340,11 +383,21 @@ class MultiCloud:
     per-member retry budget :meth:`process_batch` spends on a failing member
     before excluding it and failing its work over to replicas.
 
+    ``member_backend`` selects where member compute runs: ``"thread"``
+    keeps every member in-process (the default), ``"process"`` places each
+    member's server in its own worker process behind a
+    :class:`~repro.cloud.process_member.ProcessMemberProxy` so CPU-bound
+    schemes escape the GIL — see the module docstring.  Process fleets own
+    worker processes; call :meth:`close` (or use the fleet as a context
+    manager) when done.
+
     ``failed_members`` persists across batches: once a member is excluded it
     receives no further work until the fleet is explicitly repaired
     (:meth:`mark_all_recovered`, e.g. after a re-outsourcing rebin replaces
     the member).
     """
+
+    MEMBER_BACKENDS = ("thread", "process")
 
     def __init__(
         self,
@@ -354,22 +407,41 @@ class MultiCloud:
         use_encrypted_indexes: bool = True,
         server_factory: Optional[Callable[..., CloudServer]] = None,
         member_retries: int = 1,
+        member_backend: str = "thread",
     ):
         if count < 2:
             raise CloudError("a multi-cloud deployment needs at least 2 servers")
         if member_retries < 0:
             raise CloudError(f"member_retries must be >= 0, got {member_retries}")
-        factory = network_factory or NetworkModel
-        make_server = server_factory or CloudServer
-        self.servers: List[CloudServer] = [
-            make_server(
-                name=f"cloud-{index}",
-                network=factory(),
-                use_indexes=use_indexes,
-                use_encrypted_indexes=use_encrypted_indexes,
+        if member_backend not in self.MEMBER_BACKENDS:
+            raise CloudError(
+                f"unknown member_backend {member_backend!r}; choose from "
+                f"{list(self.MEMBER_BACKENDS)}"
             )
-            for index in range(count)
-        ]
+        factory = network_factory or NetworkModel
+        self.member_backend = member_backend
+        if member_backend == "process":
+            self.servers: List[CloudServer] = [
+                ProcessMemberProxy(
+                    name=f"cloud-{index}",
+                    network_factory=factory,
+                    server_factory=server_factory,
+                    use_indexes=use_indexes,
+                    use_encrypted_indexes=use_encrypted_indexes,
+                )
+                for index in range(count)
+            ]
+        else:
+            make_server = server_factory or CloudServer
+            self.servers = [
+                make_server(
+                    name=f"cloud-{index}",
+                    network=factory(),
+                    use_indexes=use_indexes,
+                    use_encrypted_indexes=use_encrypted_indexes,
+                )
+                for index in range(count)
+            ]
         self.member_retries = member_retries
         self.failed_members: Set[int] = set()
         self.last_report: Optional[FleetBatchReport] = None
@@ -383,6 +455,26 @@ class MultiCloud:
 
     def __getitem__(self, index: int) -> CloudServer:
         return self.servers[index]
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Release member resources (worker processes under ``"process"``).
+
+        Idempotent; a thread-backed fleet has nothing to release.  Proxy
+        mirrors (views, statistics, network logs) stay readable after close,
+        so analysis code may inspect a closed fleet — it just cannot serve
+        further batches.
+        """
+        for server in self.servers:
+            close = getattr(server, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "MultiCloud":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     # -- outsourcing --------------------------------------------------------------
     def broadcast_non_sensitive(self, relation: Relation) -> None:
@@ -684,10 +776,12 @@ class MultiCloud:
         failed_this_batch: Set[int] = set()
         rerouted = 0
         workers = max_workers or len(self.servers)
-        # Members share one scheme object; schemes whose search() mutates
-        # internal work counters declare themselves concurrency-unsafe and
-        # get served one member at a time (correct counters over overlap).
-        if any(
+        # Thread-backed members share one scheme object; schemes whose
+        # search() mutates internal work counters declare themselves
+        # concurrency-unsafe and get served one member at a time (correct
+        # counters over overlap).  Process-backed members each hold their
+        # own scheme copy, so no serialisation is needed there.
+        if self.member_backend == "thread" and any(
             server.scheme is not None and not server.scheme.concurrent_search_safe
             for server in self.servers
         ):
@@ -778,7 +872,14 @@ class MultiCloud:
             rerouted_halves=rerouted,
         )
 
+        # Member responses are interned per distinct request (repeated bin
+        # pairs return the *same* response object), so the stitched whole
+        # responses are memoised by half identity: steady-state repeats of a
+        # bin pair share one merged response instead of re-allocating it per
+        # query.  Consumers treat responses as read-only, exactly as they do
+        # the member responses themselves.
         merged: List[QueryResponse] = []
+        merged_memo: Dict[Tuple[int, int], QueryResponse] = {}
         for sensitive_slot, cleartext_slot in slot_pairs:
             sensitive_response: Optional[QueryResponse] = None
             if sensitive_slot is not None:
@@ -786,8 +887,10 @@ class MultiCloud:
             non_sensitive_response: Optional[QueryResponse] = None
             if cleartext_slot is not None:
                 non_sensitive_response = responses[cleartext_slot]
-            merged.append(
-                QueryResponse(
+            memo_key = (id(sensitive_response), id(non_sensitive_response))
+            whole = merged_memo.get(memo_key)
+            if whole is None:
+                whole = QueryResponse(
                     non_sensitive_rows=(
                         non_sensitive_response.non_sensitive_rows
                         if non_sensitive_response is not None
@@ -817,7 +920,8 @@ class MultiCloud:
                         )
                     ),
                 )
-            )
+                merged_memo[memo_key] = whole
+            merged.append(whole)
         return merged
 
     # -- adversarial analysis -----------------------------------------------------------

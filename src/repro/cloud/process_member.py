@@ -1,0 +1,386 @@
+"""Process-backed multi-cloud members.
+
+The thread-backed :class:`~repro.cloud.multi_cloud.MultiCloud` divides a
+batch across members, but every member still computes under the coordinator
+process's GIL — CPU-bound cloud work (SSE trial decryption above all) never
+actually runs in parallel.  This module provides the escape hatch:
+``MultiCloud(member_backend="process")`` places each member's
+:class:`~repro.cloud.server.CloudServer` in its own worker process, connected
+to the coordinator by a :class:`ProcessMemberProxy` that speaks a small
+pickled RPC protocol over a pipe.
+
+Design
+------
+* **State affinity.**  Each member's stored relations, ciphertexts, and
+  indexes live in exactly one worker process for the fleet's lifetime (a
+  pool that round-robins tasks would be useless — the state *is* the
+  member).  The worker is a plain command loop around a real server object,
+  so every server behaviour — including test subclasses such as the
+  fault-injecting server — works unchanged behind the proxy.
+* **Batched observation sync.**  The coordinator must keep seeing the exact
+  single-server information split: per-member adversarial views, statistics,
+  and network charges.  Every RPC reply therefore carries an
+  :class:`ObservationDelta` — the compact view records, transfer-log
+  entries, and counter values produced since the previous sync — which the
+  proxy folds into local mirrors.  Observations are synced once per batch,
+  not once per query, so the IPC cost amortises exactly like the compute.
+* **Crash semantics for real.**  ``observation_snapshot`` /
+  ``restore_observations`` are forwarded across the boundary, so the fleet's
+  wave-based failover (and the fault-injection parity harness) works
+  identically for process members.  A worker process that actually dies
+  (EOF on the pipe) surfaces as :class:`~repro.exceptions.MemberFailure`
+  from ``process_batch`` — a genuine process loss feeds the same failover
+  path the simulated crashes exercise.
+* **Isolated scheme copies.**  Each worker holds its own (pickled) copy of
+  the search scheme, so schemes whose cloud-side matching mutates internal
+  work counters (``concurrent_search_safe = False``) are race-free under
+  this backend without serialising members; their counters then tally the
+  per-worker work and are not synced back to the owner's scheme object.
+
+The proxy raises :class:`~repro.exceptions.ProcessMemberError` when the
+worker protocol itself breaks outside a batch (a dead worker during
+outsourcing is a deployment error, not a servable fault).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.adversary.view import ViewLog, ViewTemplate
+from repro.cloud.network import NetworkModel, TransferLog
+from repro.cloud.server import (
+    BatchRequest,
+    CloudServer,
+    CloudStatistics,
+    ObservationSnapshot,
+    QueryResponse,
+)
+from repro.crypto.base import EncryptedSearchScheme
+from repro.data.relation import Row
+from repro.exceptions import MemberFailure, ProcessMemberError
+
+_SHUTDOWN = None  # sentinel message ending the worker loop
+
+
+@dataclass
+class ObservationDelta:
+    """Observable side effects a worker produced since the last sync.
+
+    Carries everything :class:`ObservationSnapshot` covers, so the proxy can
+    take snapshots *locally* — a dead worker can still be snapshotted, which
+    is exactly what the fleet needs to fail a real process loss over.
+    """
+
+    records: List[Tuple[int, ViewTemplate]]
+    network_entries: List[TransferLog]
+    stats: Tuple[int, ...]
+    queries_issued: int
+    index_probe_counts: Tuple[Tuple[str, int], ...]
+    tag_probe_count: int
+    tag_rows_examined: int
+
+
+def _worker_main(connection, server_factory, server_kwargs) -> None:
+    """The member process: a command loop around one real server object."""
+    server = (server_factory or CloudServer)(**server_kwargs)
+    synced_views = 0
+    synced_network = 0
+    while True:
+        try:
+            message = connection.recv()
+        except (EOFError, OSError):
+            break
+        if message is _SHUTDOWN or message is None:
+            break
+        method, args, kwargs = message
+        try:
+            if method == "register_non_sensitive_row":
+                result = _register_row(server, args[0])
+            else:
+                result = getattr(server, method)(*args, **kwargs)
+        except BaseException as error:  # ship the failure, keep serving
+            try:
+                connection.send(("error", error))
+            except Exception:
+                break
+            continue
+        # Batched observation sync: everything recorded since the last reply.
+        # Restores/resets may have truncated below the synced watermark, in
+        # which case the proxy performed the matching truncation itself.
+        synced_views = min(synced_views, len(server.view_log))
+        synced_network = min(synced_network, len(server.network.log))
+        tag_index = server._tag_index
+        delta = ObservationDelta(
+            records=server.view_log.records_since(synced_views),
+            network_entries=server.network.log[synced_network:],
+            stats=server.stats.as_tuple(),
+            queries_issued=server._queries_issued,
+            index_probe_counts=tuple(
+                (attribute, index.probe_count)
+                for attribute, index in server._indexes.items()
+            ),
+            tag_probe_count=tag_index.probe_count if tag_index is not None else 0,
+            tag_rows_examined=(
+                tag_index.rows_examined if tag_index is not None else 0
+            ),
+        )
+        synced_views = len(server.view_log)
+        synced_network = len(server.network.log)
+        try:
+            connection.send(("ok", result, delta))
+        except Exception:
+            break
+    connection.close()
+
+
+def _register_row(server: CloudServer, row: Row) -> None:
+    """Worker-side shim for owner inserts into the shared cleartext relation.
+
+    In-process members share the owner's relation object, so the row is
+    already stored when ``register_non_sensitive_row`` runs.  A worker holds
+    its own copy, so the insert must be replayed first.
+    """
+    relation = server._non_sensitive
+    if relation is not None and row.rid not in relation:
+        relation.insert(
+            dict(row.values), sensitive=row.sensitive, rid=row.rid, validate=False
+        )
+    return server.register_non_sensitive_row(row)
+
+
+def _spawn_context():
+    """Prefer ``fork`` (cheap, inherits imported modules — required for
+    factories defined in non-importable test modules); fall back to the
+    platform default elsewhere."""
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX platforms
+        return multiprocessing.get_context()
+
+
+def process_backend_available() -> bool:
+    """Whether this platform supports process-backed members (fork start)."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+class ProcessMemberProxy:
+    """Coordinator-side stand-in for a :class:`CloudServer` in a worker process.
+
+    Duck-types the server surface the fleet, the engine, and the harnesses
+    touch.  Storage commands and queries are forwarded over the pipe; the
+    observable side effects stream back in per-RPC deltas and accumulate in
+    local mirrors (``view_log``, ``stats``, ``network``), so adversary,
+    auditor, and parity code read member observations exactly as they would
+    off an in-process server.  Unknown method calls are forwarded
+    generically, which is what lets test-only members (e.g.
+    ``schedule_failure`` on the fault-injecting server) be driven through
+    the proxy without special cases.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        network_factory: Optional[Callable[[], NetworkModel]] = None,
+        server_factory: Optional[Callable[..., CloudServer]] = None,
+        **server_kwargs,
+    ):
+        factory = network_factory or NetworkModel
+        self.name = name
+        self.network = factory()  # mirror: params match the worker's model
+        self.view_log = ViewLog()
+        self.stats = CloudStatistics()
+        self._queries_issued = 0
+        self._index_probe_counts: Tuple[Tuple[str, int], ...] = ()
+        self._tag_probe_count = 0
+        self._tag_rows_examined = 0
+        self._scheme: Optional[EncryptedSearchScheme] = None
+        self._encrypted_row_count = 0
+        self._closed = False
+
+        context = _spawn_context()
+        self._connection, worker_connection = context.Pipe()
+        self._process = context.Process(
+            target=_worker_main,
+            args=(
+                worker_connection,
+                server_factory,
+                dict(server_kwargs, name=name, network=factory()),
+            ),
+            daemon=True,
+            name=f"repro-member-{name}",
+        )
+        self._process.start()
+        worker_connection.close()
+        self._finalizer = weakref.finalize(
+            self, _shutdown_worker, self._connection, self._process
+        )
+
+    # -- RPC plumbing -------------------------------------------------------------
+    def _call(self, method: str, *args, **kwargs):
+        if self._closed:
+            if method == "process_batch":
+                # the member is gone; let the fleet's failover machinery
+                # route its work to replicas instead of failing the batch
+                raise MemberFailure(f"{self.name}: member process is down")
+            raise ProcessMemberError(f"{self.name}: member process is closed")
+        try:
+            self._connection.send((method, args, kwargs))
+            reply = self._connection.recv()
+        except (EOFError, OSError, BrokenPipeError) as error:
+            self._closed = True
+            if method == "process_batch":
+                # a member process that died mid-batch is exactly the crash
+                # the fleet's failover machinery exists for
+                raise MemberFailure(
+                    f"{self.name}: member process died while serving a batch"
+                ) from error
+            raise ProcessMemberError(
+                f"{self.name}: member process is unreachable ({error!r})"
+            ) from error
+        if reply[0] == "error":
+            raise reply[1]
+        _status, result, delta = reply
+        self._apply_delta(delta)
+        return result
+
+    def _apply_delta(self, delta: ObservationDelta) -> None:
+        if delta.records:
+            self.view_log.extend_records(delta.records)
+        if delta.network_entries:
+            self.network.log.extend(delta.network_entries)
+        self.stats = CloudStatistics.from_tuple(delta.stats)
+        self._queries_issued = delta.queries_issued
+        self._index_probe_counts = delta.index_probe_counts
+        self._tag_probe_count = delta.tag_probe_count
+        self._tag_rows_examined = delta.tag_rows_examined
+
+    def __getattr__(self, name: str):
+        if name.startswith("_"):
+            raise AttributeError(name)
+
+        def remote_method(*args, **kwargs):
+            return self._call(name, *args, **kwargs)
+
+        remote_method.__name__ = name
+        return remote_method
+
+    # -- server surface -----------------------------------------------------------
+    @property
+    def scheme(self) -> Optional[EncryptedSearchScheme]:
+        """The owner-side handle of the outsourced scheme.
+
+        The worker holds its *own* copy (see the module docstring); this
+        handle is what the fleet consults for capability flags such as
+        ``concurrent_search_safe``.
+        """
+        return self._scheme
+
+    @property
+    def encrypted_row_count(self) -> int:
+        return self._encrypted_row_count
+
+    def store_non_sensitive(self, relation) -> None:
+        self._call("store_non_sensitive", relation)
+
+    def store_sensitive(self, encrypted_rows, scheme, bin_assignment=None) -> None:
+        encrypted_rows = list(encrypted_rows)
+        self._call("store_sensitive", encrypted_rows, scheme, bin_assignment)
+        # mirrors update only after the worker actually stored the rows
+        self._scheme = scheme
+        self._encrypted_row_count = len(encrypted_rows)
+
+    def append_sensitive(self, encrypted_rows, bin_assignment=None) -> None:
+        encrypted_rows = list(encrypted_rows)
+        self._call("append_sensitive", encrypted_rows, bin_assignment)
+        self._encrypted_row_count += len(encrypted_rows)
+
+    def build_index(self, attribute: str) -> None:
+        self._call("build_index", attribute)
+
+    def register_non_sensitive_row(self, row: Row) -> None:
+        self._call("register_non_sensitive_row", row)
+
+    def process_batch(self, requests) -> List[QueryResponse]:
+        return self._call("process_batch", list(requests))
+
+    def process_request(self, *args, **kwargs) -> QueryResponse:
+        return self._call("process_request", *args, **kwargs)
+
+    def reset_observations(self) -> None:
+        # The delta already restores the counters (the worker does not reset
+        # its query-id counter or index probe counts — neither does a real
+        # server); only the mirrored logs need the matching truncation.
+        self._call("reset_observations")
+        self.view_log.clear()
+        self.network.reset()
+
+    def observation_snapshot(self) -> ObservationSnapshot:
+        """Snapshot the member's observations from the local mirrors.
+
+        No RPC: the mirrors are exactly in sync with the worker at every
+        wave boundary (deltas carry the index/tag counters too), and a local
+        snapshot is the only kind a *dead* worker can still provide — which
+        is what lets the fleet fail a real process loss over.
+        """
+        return ObservationSnapshot(
+            view_count=len(self.view_log),
+            stats=self.stats.as_tuple(),
+            network_log_length=len(self.network.log),
+            queries_issued=self._queries_issued,
+            index_probe_counts=self._index_probe_counts,
+            tag_probe_count=self._tag_probe_count,
+            tag_rows_examined=self._tag_rows_examined,
+        )
+
+    def restore_observations(self, snapshot: ObservationSnapshot) -> None:
+        if not self._closed:
+            try:
+                self._call("restore_observations", snapshot)
+            except (MemberFailure, ProcessMemberError):
+                # The worker died with its un-synced in-flight observations —
+                # the crash *is* the restore; only the mirrors need rolling
+                # back (and they never saw the lost work to begin with).
+                pass
+        # The delta can only extend the mirrors; the rollback truncation is
+        # replayed locally (same copy-on-write semantics as the server's).
+        self.view_log._truncate(snapshot.view_count)
+        del self.network.log[snapshot.network_log_length:]
+        self.stats = CloudStatistics.from_tuple(snapshot.stats)
+        self._queries_issued = snapshot.queries_issued
+        self._index_probe_counts = snapshot.index_probe_counts
+        self._tag_probe_count = snapshot.tag_probe_count
+        self._tag_rows_examined = snapshot.tag_rows_examined
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the worker down; the proxy keeps its mirrors readable."""
+        if not self._closed:
+            self._closed = True
+            self._finalizer()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __repr__(self) -> str:
+        state = "closed" if self._closed else "live"
+        return f"ProcessMemberProxy({self.name!r}, {state})"
+
+
+def _shutdown_worker(connection, process) -> None:
+    """Finalizer: ask the worker to exit, then make sure it did."""
+    try:
+        connection.send(_SHUTDOWN)
+    except Exception:
+        pass
+    process.join(timeout=2.0)
+    if process.is_alive():  # pragma: no cover - defensive
+        process.terminate()
+        process.join(timeout=2.0)
+    try:
+        connection.close()
+    except Exception:
+        pass

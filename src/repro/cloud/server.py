@@ -18,13 +18,26 @@ decreasing order of preference:
 3. the linear scan over all ciphertexts (``scheme.search``), the fallback and
    the reference semantics the other two paths must reproduce exactly.
 
-:meth:`CloudServer.process_batch` serves many requests in one call, computing
-each distinct retrieval once while still recording one adversarial view and
-one set of statistics increments per query — batching changes *work*, never
-the observable view or the cloud's per-query accounting (``CloudStatistics``,
-index counters, network log).  Scheme-internal work counters (e.g. Paillier's
-``homomorphic_ops``) intentionally reflect the deduplicated compute: they
-count cryptographic operations actually performed.
+Interned retrievals
+-------------------
+QB workloads are repetitive by construction: every value of a bin pair maps
+to the *same* request.  The server therefore interns one
+:class:`_Retrieval` — the computed result rows, the prebuilt
+:class:`QueryResponse`, and the prebuilt
+:class:`~repro.adversary.view.ViewTemplate` — per distinct request, keyed by
+the request itself, and serves every repeat from it.  Serving a steady-state
+cache-hit query then does near-zero allocation: one dict probe, a handful of
+counter increments, one network-log entry, and one compact view-log record.
+The cache is dropped whenever stored data changes (outsourcing, appends,
+inserts), so cached retrievals can never go stale.
+
+Interning never merges queries' observable effects: each request still
+produces its own query id, adversarial view, ``CloudStatistics`` and
+index-counter increments, and network transfer, exactly as if computed from
+scratch — the cache-hit path re-applies the counters the skipped compute
+would have produced.  Only scheme-internal work counters (e.g. Paillier's
+``homomorphic_ops``) reflect the deduplicated compute: they count
+cryptographic operations actually performed.
 
 The server also keeps simple operation counters (rows scanned, index probes,
 tuples shipped) which the benchmark harness converts into simulated times via
@@ -33,10 +46,10 @@ the cost model, so experiments do not depend on wall-clock noise.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
-from repro.adversary.view import AdversarialView, ViewLog
+from repro.adversary.view import AdversarialView, ViewLog, ViewTemplate
 from repro.cloud.indexes import EncryptedTagIndex, HashIndex
 from repro.cloud.network import NetworkModel
 from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
@@ -73,6 +86,21 @@ class CloudStatistics:
     #: index or the bin-addressed store applies).
     sensitive_rows_scanned: int = 0
 
+    def as_tuple(self) -> Tuple[int, ...]:
+        """The counters as a plain tuple (cheap snapshotting)."""
+        return (
+            self.queries_served,
+            self.non_sensitive_rows_returned,
+            self.sensitive_rows_returned,
+            self.non_sensitive_probes,
+            self.sensitive_tokens_processed,
+            self.sensitive_rows_scanned,
+        )
+
+    @classmethod
+    def from_tuple(cls, values: Sequence[int]) -> "CloudStatistics":
+        return cls(*values)
+
 
 @dataclass(frozen=True)
 class ObservationSnapshot:
@@ -84,10 +112,19 @@ class ObservationSnapshot:
     exactly what lets a failover re-serve the batch on a replica without
     double-counting the lost attempt.  Only *observations* are covered —
     stored relations and indexes are durable and survive the restore.
+
+    The snapshot is copy-on-write: it stores plain integers only — log
+    *lengths* rather than log copies, counter values rather than counter
+    objects — so taking one is O(#indexes) regardless of how many views or
+    transfers the server has accumulated.  The append-only logs themselves
+    are the shared state; the only write a restore performs is truncating
+    them back to the recorded lengths.  The fault-tolerance path takes one
+    snapshot per member per wave, so this must stay cheap even when nothing
+    fails.
     """
 
     view_count: int
-    stats: CloudStatistics
+    stats: Tuple[int, ...]
     network_log_length: int
     queries_issued: int
     index_probe_counts: Tuple[Tuple[str, int], ...]
@@ -100,8 +137,12 @@ class BatchRequest:
     """One partitioned request inside a :meth:`CloudServer.process_batch` call.
 
     Mirrors the parameters of :meth:`CloudServer.process_request`; values and
-    tokens are tuples so a batch executor can hash requests to deduplicate
-    repeated bin-pair retrievals.
+    tokens are tuples so the server can intern retrievals per distinct
+    request.  Requests are picklable wire types: a multi-cloud fleet ships
+    them to process-backed members, so they must carry no live references to
+    server state.  Hashes and the two half-requests are cached on the
+    instance (bins repeat, so the same request object is hashed and split
+    many times) but excluded from pickles.
     """
 
     attribute: str
@@ -129,23 +170,79 @@ class BatchRequest:
 
     def sensitive_half(self) -> "BatchRequest":
         """The token half as shipped to the server owning the sensitive bin."""
-        return BatchRequest(
-            attribute=self.attribute,
-            cleartext_values=(),
-            tokens=self.tokens,
-            sensitive_bin_index=self.sensitive_bin_index,
-            non_sensitive_bin_index=None,
-        )
+        half = self.__dict__.get("_sensitive_half")
+        if half is None:
+            if not self.cleartext_values and self.non_sensitive_bin_index is None:
+                half = self  # already a pure token half
+            else:
+                half = BatchRequest(
+                    attribute=self.attribute,
+                    cleartext_values=(),
+                    tokens=self.tokens,
+                    sensitive_bin_index=self.sensitive_bin_index,
+                    non_sensitive_bin_index=None,
+                )
+            object.__setattr__(self, "_sensitive_half", half)
+        return half
 
     def non_sensitive_half(self) -> "BatchRequest":
         """The cleartext half as shipped to a non-colluding second server."""
-        return BatchRequest(
-            attribute=self.attribute,
-            cleartext_values=self.cleartext_values,
-            tokens=(),
-            sensitive_bin_index=None,
-            non_sensitive_bin_index=self.non_sensitive_bin_index,
-        )
+        half = self.__dict__.get("_non_sensitive_half")
+        if half is None:
+            if not self.tokens and self.sensitive_bin_index is None:
+                half = self  # already a pure cleartext half
+            else:
+                half = BatchRequest(
+                    attribute=self.attribute,
+                    cleartext_values=self.cleartext_values,
+                    tokens=(),
+                    sensitive_bin_index=None,
+                    non_sensitive_bin_index=self.non_sensitive_bin_index,
+                )
+            object.__setattr__(self, "_non_sensitive_half", half)
+        return half
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash(
+                (
+                    self.attribute,
+                    self.cleartext_values,
+                    self.tokens,
+                    self.sensitive_bin_index,
+                    self.non_sensitive_bin_index,
+                )
+            )
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        state.pop("_sensitive_half", None)
+        state.pop("_non_sensitive_half", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+
+
+@dataclass
+class _Retrieval:
+    """One distinct request's interned compute results and observables.
+
+    ``response`` and ``view_template`` are shared by every query served from
+    this retrieval; consumers treat responses as read-only (the engine keys
+    its decryption cache on the *identity* of ``response.encrypted_rows``,
+    which is exactly what makes the sharing useful).
+    """
+
+    response: QueryResponse
+    view_template: ViewTemplate
+    cleartext_value_count: int
+    token_count: int
+    sensitive_scanned: int
 
 
 class CloudServer:
@@ -175,12 +272,30 @@ class CloudServer:
         self.view_log = ViewLog()
         self.stats = CloudStatistics()
         self._queries_issued = 0
+        #: request → interned retrieval; dropped whenever stored data changes
+        self._retrievals: Dict[BatchRequest, _Retrieval] = {}
+
+    def _invalidate_retrievals(self) -> None:
+        """Drop interned retrievals after any stored-data mutation."""
+        self._retrievals.clear()
+
+    def invalidate_retrievals(self) -> None:
+        """Public cache flush (benchmarks restoring the cold-compute regime).
+
+        Dropping the interned retrievals is always safe — the next serve of
+        each request recomputes and re-interns it — and is how the
+        throughput benchmarks measure the compute-bound regime (every
+        distinct request re-scanned per measured pass) instead of the
+        fixed-cost floor a warm cache settles into.
+        """
+        self._invalidate_retrievals()
 
     # -- outsourcing -------------------------------------------------------------
     def store_non_sensitive(self, relation: Relation) -> None:
         """Receive the cleartext non-sensitive relation from the owner."""
         self._non_sensitive = relation
         self._indexes.clear()
+        self._invalidate_retrievals()
         self.network.record(
             "upload", f"outsource {relation.name} (cleartext)", len(relation)
         )
@@ -208,6 +323,7 @@ class CloudServer:
         self._tag_index = None
         self._bin_store = None
         self._unassigned_sensitive = []
+        self._invalidate_retrievals()
         if self.use_encrypted_indexes:
             if scheme.supports_tag_index:
                 self._tag_index = EncryptedTagIndex(scheme)
@@ -228,6 +344,7 @@ class CloudServer:
         start_position = len(self._encrypted_rows)
         self._encrypted_rows.extend(encrypted_rows)
         self._encrypted_rows_snapshot = None
+        self._invalidate_retrievals()
         if self._tag_index is not None:
             self._tag_index.add_rows(encrypted_rows, start_position)
         if self._bin_store is not None:
@@ -259,6 +376,7 @@ class CloudServer:
             for index in self._indexes.values():
                 index.add_row(row)
             added += 1
+        self._invalidate_retrievals()
         self.network.record("upload", "append non-sensitive rows", added)
         return added
 
@@ -274,6 +392,7 @@ class CloudServer:
             raise CloudError(f"row {row.rid} is not part of the stored relation")
         for index in self._indexes.values():
             index.add_row(row)
+        self._invalidate_retrievals()
         self.network.record("upload", "append non-sensitive row", 1)
 
     def build_index(self, attribute: str) -> None:
@@ -353,92 +472,99 @@ class CloudServer:
             self._tag_index.probe_count += token_count
             self._tag_index.rows_examined += rows_scanned
 
-    def _process_one(
-        self,
-        attribute: str,
-        cleartext_values: Sequence[object],
-        tokens: Sequence[SearchToken],
-        sensitive_bin_index: Optional[int],
-        non_sensitive_bin_index: Optional[int],
-        non_sensitive_cache: Optional[Dict[Tuple, List[Row]]] = None,
-        sensitive_cache: Optional[Dict[Tuple, Tuple[List[EncryptedRow], int]]] = None,
-    ) -> QueryResponse:
-        """Serve one request, optionally reusing batched retrieval results.
+    def _compute_retrieval(self, request: BatchRequest) -> _Retrieval:
+        """Run one distinct request's real compute and intern the results."""
+        non_sensitive_rows: List[Row] = []
+        if request.cleartext_values:
+            non_sensitive_rows = self._select_non_sensitive(
+                request.attribute, request.cleartext_values
+            )
 
-        The caches only skip *compute*: every query still gets its own view
-        log entry, statistics increments, and network transfer, so batched
-        and sequential execution are observationally identical.
+        encrypted_matches: List[EncryptedRow] = []
+        sensitive_scanned = 0
+        if request.tokens:
+            encrypted_matches, sensitive_scanned = self._search_sensitive(
+                request.tokens, request.sensitive_bin_index
+            )
+
+        total_returned = len(non_sensitive_rows) + len(encrypted_matches)
+        response = QueryResponse(
+            non_sensitive_rows=non_sensitive_rows,
+            encrypted_rows=encrypted_matches,
+            non_sensitive_scanned=len(request.cleartext_values),
+            sensitive_scanned=sensitive_scanned,
+            # deterministic: depends only on the (fixed) returned tuple count
+            transfer_seconds=self.network.transfer_seconds(total_returned),
+        )
+        view_template = ViewTemplate(
+            attribute=request.attribute,
+            non_sensitive_request=request.cleartext_values,
+            sensitive_request_size=len(request.tokens),
+            returned_non_sensitive=tuple(non_sensitive_rows),
+            returned_sensitive_rids=tuple(row.rid for row in encrypted_matches),
+            sensitive_bin_index=request.sensitive_bin_index,
+            non_sensitive_bin_index=request.non_sensitive_bin_index,
+        )
+        return _Retrieval(
+            response=response,
+            view_template=view_template,
+            cleartext_value_count=len(request.cleartext_values),
+            token_count=len(request.tokens),
+            sensitive_scanned=sensitive_scanned,
+        )
+
+    def _serve(self, request: BatchRequest) -> QueryResponse:
+        """Serve one request through the interned-retrieval hot path.
+
+        Every query — cache hit or miss — gets its own query id, view-log
+        record, statistics increments, and network transfer entry; only the
+        *compute* (index probes, scans, scheme matching, tuple building) is
+        shared between repeats of the same request.
         """
         query_id = self._queries_issued
         self._queries_issued += 1
 
-        non_sensitive_rows: List[Row] = []
-        if cleartext_values:
-            ns_key = (attribute, tuple(cleartext_values))
-            cached_rows = (
-                non_sensitive_cache.get(ns_key)
-                if non_sensitive_cache is not None
-                else None
-            )
-            if cached_rows is not None:
-                non_sensitive_rows = cached_rows
-                self._charge_cached_non_sensitive(attribute, len(cleartext_values))
-            else:
-                non_sensitive_rows = self._select_non_sensitive(
-                    attribute, cleartext_values
+        retrieval = self._retrievals.get(request)
+        if retrieval is None:
+            retrieval = self._compute_retrieval(request)
+            self._retrievals[request] = retrieval
+        else:
+            # Charge the per-query counters the skipped compute would have
+            # produced, so interning is invisible in the accounting.
+            if retrieval.cleartext_value_count:
+                self._charge_cached_non_sensitive(
+                    request.attribute, retrieval.cleartext_value_count
                 )
-                if non_sensitive_cache is not None:
-                    non_sensitive_cache[ns_key] = non_sensitive_rows
-
-        encrypted_matches: List[EncryptedRow] = []
-        sensitive_scanned = 0
-        if tokens:
-            s_key = (tuple(tokens), sensitive_bin_index)
-            cached_search = (
-                sensitive_cache.get(s_key) if sensitive_cache is not None else None
-            )
-            if cached_search is not None:
-                encrypted_matches, sensitive_scanned = cached_search
-                self._charge_cached_sensitive(len(tokens), sensitive_scanned)
-            else:
-                encrypted_matches, sensitive_scanned = self._search_sensitive(
-                    tokens, sensitive_bin_index
+            if retrieval.token_count:
+                self._charge_cached_sensitive(
+                    retrieval.token_count, retrieval.sensitive_scanned
                 )
-                if sensitive_cache is not None:
-                    sensitive_cache[s_key] = (encrypted_matches, sensitive_scanned)
-            self.stats.sensitive_rows_scanned += sensitive_scanned
-            self.stats.sensitive_tokens_processed += len(tokens)
 
-        transfer_seconds = self.network.record(
-            "download",
-            f"query {query_id} results",
-            len(non_sensitive_rows) + len(encrypted_matches),
+        stats = self.stats
+        if retrieval.token_count:
+            stats.sensitive_rows_scanned += retrieval.sensitive_scanned
+            stats.sensitive_tokens_processed += retrieval.token_count
+
+        response = retrieval.response
+        self.network.record(
+            "download", "query results", response.total_returned
         )
 
-        self.stats.queries_served += 1
-        self.stats.non_sensitive_rows_returned += len(non_sensitive_rows)
-        self.stats.sensitive_rows_returned += len(encrypted_matches)
+        stats.queries_served += 1
+        stats.non_sensitive_rows_returned += len(response.non_sensitive_rows)
+        stats.sensitive_rows_returned += len(response.encrypted_rows)
 
-        self.view_log.append(
-            AdversarialView(
-                query_id=query_id,
-                attribute=attribute,
-                non_sensitive_request=tuple(cleartext_values),
-                sensitive_request_size=len(tokens),
-                returned_non_sensitive=tuple(non_sensitive_rows),
-                returned_sensitive_rids=tuple([row.rid for row in encrypted_matches]),
-                sensitive_bin_index=sensitive_bin_index,
-                non_sensitive_bin_index=non_sensitive_bin_index,
-            )
-        )
+        self.view_log.record(query_id, retrieval.view_template)
+        return response
 
-        return QueryResponse(
-            non_sensitive_rows=non_sensitive_rows,
-            encrypted_rows=encrypted_matches,
-            non_sensitive_scanned=len(cleartext_values),
-            sensitive_scanned=sensitive_scanned,
-            transfer_seconds=transfer_seconds,
-        )
+    def serve(self, request: BatchRequest) -> QueryResponse:
+        """Serve one prebuilt request object (the no-rewrap single-query path).
+
+        Equivalent to :meth:`process_request` but takes the engine's interned
+        :class:`BatchRequest` directly, so a steady-state sequential query
+        allocates no fresh tuples on its way to the interned retrieval.
+        """
+        return self._serve(request)
 
     def process_request(
         self,
@@ -457,43 +583,32 @@ class CloudServer:
         identical requests), and they address the bin-addressed store when
         the scheme has no indexable tags.
         """
-        return self._process_one(
-            attribute,
-            cleartext_values,
-            tokens,
-            sensitive_bin_index,
-            non_sensitive_bin_index,
+        return self._serve(
+            BatchRequest(
+                attribute=attribute,
+                cleartext_values=tuple(cleartext_values),
+                tokens=tuple(tokens),
+                sensitive_bin_index=sensitive_bin_index,
+                non_sensitive_bin_index=non_sensitive_bin_index,
+            )
         )
 
     def process_batch(self, requests: Sequence[BatchRequest]) -> List[QueryResponse]:
         """Serve many requests, computing each distinct retrieval only once.
 
         QB workloads are heavily repetitive — every value of a bin pair maps
-        to the *same* request — so the batch executor memoises the cleartext
-        lookup and the encrypted search per distinct request within the
-        batch.  Deduplication never merges queries' observable effects: each
-        request still produces its own query id, adversarial view,
+        to the *same* request — so the interned-retrieval cache serves
+        repeats (within this batch, across batches, and across the sequential
+        path alike) without recomputing the lookup or the encrypted search.
+        Deduplication never merges queries' observable effects: each request
+        still produces its own query id, adversarial view,
         ``CloudStatistics`` and index-counter increments, and network
-        transfer, exactly as if served sequentially.  Only the compute is
+        transfer, exactly as if served from scratch.  Only the compute is
         shared, so counters *inside* a scheme that tally cryptographic
         operations actually performed will reflect the deduplication.
         """
-        non_sensitive_cache: Dict[Tuple, List[Row]] = {}
-        sensitive_cache: Dict[Tuple, Tuple[List[EncryptedRow], int]] = {}
-        responses: List[QueryResponse] = []
-        for request in requests:
-            responses.append(
-                self._process_one(
-                    request.attribute,
-                    request.cleartext_values,
-                    request.tokens,
-                    request.sensitive_bin_index,
-                    request.non_sensitive_bin_index,
-                    non_sensitive_cache=non_sensitive_cache,
-                    sensitive_cache=sensitive_cache,
-                )
-            )
-        return responses
+        serve = self._serve
+        return [serve(request) for request in requests]
 
     def reset_observations(self) -> None:
         """Clear adversarial views and counters (between experiments)."""
@@ -506,7 +621,7 @@ class CloudServer:
         """Capture the server's observable side effects (see the snapshot doc)."""
         return ObservationSnapshot(
             view_count=len(self.view_log),
-            stats=replace(self.stats),
+            stats=self.stats.as_tuple(),
             network_log_length=len(self.network.log),
             queries_issued=self._queries_issued,
             index_probe_counts=tuple(
@@ -531,7 +646,7 @@ class CloudServer:
         (relations, ciphertexts, indexes' contents) is untouched.
         """
         del self.view_log.views[snapshot.view_count:]
-        self.stats = replace(snapshot.stats)
+        self.stats = CloudStatistics.from_tuple(snapshot.stats)
         del self.network.log[snapshot.network_log_length:]
         self._queries_issued = snapshot.queries_issued
         for attribute, probe_count in snapshot.index_probe_counts:

@@ -218,6 +218,12 @@ class QueryBinningEngine(_PartitionedEngineBase):
     plaintext_cache_bins:
         How many sensitive bins' decrypted rows the owner may keep (FIFO
         eviction; ``None`` = unbounded, ``0`` disables the cache).
+    token_cache_bins:
+        How many sensitive bins' search tokens — and per-bin-pair interned
+        request objects — the owner may keep (FIFO eviction; ``None`` =
+        unbounded, ``0`` disables the caches).  Tokens dominate the owner's
+        steady-state memory for address-token schemes, so the cap is the
+        memory/CPU trade knob on the query-rewrite side.
     """
 
     def __init__(
@@ -236,6 +242,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
         shard_max_workers: Optional[int] = None,
         replication_factor: int = 1,
         plaintext_cache_bins: Optional[int] = 1024,
+        token_cache_bins: Optional[int] = 1024,
     ):
         super().__init__(partition, attribute, scheme, cloud)
         self.add_fake_tuples = add_fake_tuples
@@ -257,8 +264,22 @@ class QueryBinningEngine(_PartitionedEngineBase):
         # Owner-side cache of search tokens per sensitive bin: every query
         # hitting the same bin sends the same token set, so recomputing
         # tokens_for_values per query is pure waste.  Invalidated whenever
-        # the scheme's owner metadata can change (setup, sensitive inserts).
+        # the scheme's owner metadata can change (setup, sensitive inserts);
+        # capped at ``token_cache_bins`` entries (FIFO eviction).
         self._token_cache: Dict[int, List] = {}
+        self._token_cache_bins = token_cache_bins
+        # Interned BatchRequest per bin pair: a bin pair's request content
+        # (cleartext value tuple, token tuple, bin annotations) is a pure
+        # function of the layout, so the same frozen request object is
+        # re-sent for every query answered from the pair.  Downstream this
+        # is what makes the cloud's retrieval interning and the router's
+        # candidate memo O(1) per query (identity-hit dict probes).  Keyed
+        # to the layout version exactly like the retriever's decision cache,
+        # and dropped with the token cache on setup/sensitive inserts.
+        self._request_cache: Dict[
+            Tuple[Optional[int], Optional[int]], BatchRequest
+        ] = {}
+        self._request_cache_version: Optional[int] = None
         # Owner-side cache of *decrypted* rows per sensitive bin, the
         # retrieval-side twin of the token cache: a bin's padded ciphertext
         # set is immutable between sensitive inserts, so every retrieval of
@@ -270,6 +291,21 @@ class QueryBinningEngine(_PartitionedEngineBase):
         # hold (FIFO eviction; ``None`` = unbounded).
         self._decrypted_bin_cache: Dict[int, List[Row]] = {}
         self._plaintext_cache_bins = plaintext_cache_bins
+
+    @staticmethod
+    def _fifo_put(cache: Dict, key, value, cap: Optional[int]) -> None:
+        """Insert into a FIFO-bounded cache.
+
+        ``cap`` semantics shared by every owner-side cache: ``None`` =
+        unbounded, ``0`` disables caching entirely, otherwise the oldest
+        entry is evicted at the boundary (dicts iterate in insertion order).
+        """
+        if cap is not None:
+            if cap <= 0:
+                return
+            if len(cache) >= cap:
+                cache.pop(next(iter(cache)))
+        cache[key] = value
 
     def _wants_bin_store(self) -> bool:
         """Whether the cloud will use a bin-addressed store for this engine.
@@ -357,6 +393,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
                 self.shard_router,
             )
         self._token_cache.clear()
+        self._request_cache.clear()
         self._decrypted_bin_cache.clear()
         self._outsourced = True
         return self
@@ -415,14 +452,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
         if not decision.retrieves_anything:
             return [], self._empty_trace(query)
 
-        tokens = self.tokens_for_decision(decision)
-        response = self.cloud.process_request(
-            self.attribute,
-            list(decision.non_sensitive_values),
-            tokens,
-            sensitive_bin_index=decision.sensitive_bin_index,
-            non_sensitive_bin_index=decision.non_sensitive_bin_index,
-        )
+        response = self.cloud.serve(self.request_for_decision(decision))
         sensitive_rows = self._decrypt_bin(
             decision.sensitive_bin_index, response.encrypted_rows
         )
@@ -443,12 +473,12 @@ class QueryBinningEngine(_PartitionedEngineBase):
         rows = self._decrypted_bin_cache.get(sensitive_bin_index)
         if rows is None:
             rows = self.scheme.decrypt_rows(encrypted_rows)
-            cap = self._plaintext_cache_bins
-            if cap is not None and len(self._decrypted_bin_cache) >= cap > 0:
-                # FIFO: dicts iterate in insertion order.
-                self._decrypted_bin_cache.pop(next(iter(self._decrypted_bin_cache)))
-            if cap is None or cap > 0:
-                self._decrypted_bin_cache[sensitive_bin_index] = rows
+            self._fifo_put(
+                self._decrypted_bin_cache,
+                sensitive_bin_index,
+                rows,
+                self._plaintext_cache_bins,
+            )
         return rows
 
     def tokens_for_decision(self, decision: RetrievalDecision) -> List:
@@ -456,7 +486,9 @@ class QueryBinningEngine(_PartitionedEngineBase):
 
         Every query landing on sensitive bin ``i`` requests the same value
         set, so its token list is computed once and reused until owner-side
-        scheme metadata changes (setup or a sensitive insert).
+        scheme metadata changes (setup or a sensitive insert).  The cache
+        holds at most ``token_cache_bins`` bins (FIFO eviction; ``None`` =
+        unbounded, ``0`` disables caching).
         """
         if not decision.sensitive_values:
             return []
@@ -470,8 +502,43 @@ class QueryBinningEngine(_PartitionedEngineBase):
             tokens = self.scheme.tokens_for_values(
                 list(decision.sensitive_values), self.attribute
             )
-            self._token_cache[bin_index] = tokens
+            self._fifo_put(
+                self._token_cache, bin_index, tokens, self._token_cache_bins
+            )
         return tokens
+
+    def request_for_decision(self, decision: RetrievalDecision) -> BatchRequest:
+        """The interned cloud request for one retrieval decision.
+
+        A bin pair's request is a pure function of the layout (value sets)
+        and the scheme's owner metadata (tokens), so the same frozen
+        :class:`BatchRequest` object is reused for every query answered from
+        the pair — steady-state queries rewrite with zero tuple building,
+        and downstream consumers (the cloud's retrieval interning, the
+        router's candidate memo, the fleet's half splitting) hit their
+        caches by object identity.  The cache keys to the layout version
+        (incremental inserts can grow a bin's value set without a full
+        setup) and is cleared with the token cache; entries are capped at
+        ``token_cache_bins`` (FIFO).
+        """
+        assert self.layout is not None
+        if self._request_cache_version != self.layout.version:
+            self._request_cache.clear()
+            self._request_cache_version = self.layout.version
+        key = (decision.sensitive_bin_index, decision.non_sensitive_bin_index)
+        request = self._request_cache.get(key)
+        if request is None:
+            request = BatchRequest(
+                attribute=self.attribute,
+                cleartext_values=tuple(decision.non_sensitive_values),
+                tokens=tuple(self.tokens_for_decision(decision)),
+                sensitive_bin_index=decision.sensitive_bin_index,
+                non_sensitive_bin_index=decision.non_sensitive_bin_index,
+            )
+            self._fifo_put(
+                self._request_cache, key, request, self._token_cache_bins
+            )
+        return request
 
     def build_requests(
         self, values: Sequence[object]
@@ -482,6 +549,9 @@ class QueryBinningEngine(_PartitionedEngineBase):
         decision (``None`` when the value retrieves nothing — such values
         produce no request).  Shared by the batched ``execute_workload`` path
         and the benchmark harness so both send the same request stream.
+        Requests are interned per bin pair (:meth:`request_for_decision`),
+        so a steady-state workload rewrite is a decision memo probe plus a
+        request memo probe per query.
         """
         self._require_setup()
         assert self.retriever is not None
@@ -491,15 +561,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
             if not decision.retrieves_anything:
                 slots.append(None)
                 continue
-            requests.append(
-                BatchRequest(
-                    attribute=self.attribute,
-                    cleartext_values=tuple(decision.non_sensitive_values),
-                    tokens=tuple(self.tokens_for_decision(decision)),
-                    sensitive_bin_index=decision.sensitive_bin_index,
-                    non_sensitive_bin_index=decision.non_sensitive_bin_index,
-                )
-            )
+            requests.append(self.request_for_decision(decision))
             slots.append(decision)
         return requests, slots
 
@@ -656,9 +718,10 @@ class QueryBinningEngine(_PartitionedEngineBase):
                     encrypted, bin_assignment, self.shard_router
                 )
             # Owner metadata changed (address books, occurrence counters):
-            # cached per-bin tokens — and the bin's cached plaintexts — may
-            # now be stale.
+            # cached per-bin tokens — the interned requests carrying them —
+            # and the bin's cached plaintexts may now be stale.
             self._token_cache.clear()
+            self._request_cache.clear()
             self._decrypted_bin_cache.clear()
             assert self.metadata is not None
             counts = self.metadata.sensitive_counts

@@ -35,6 +35,15 @@ from repro.crypto.primitives import (
 from repro.data.relation import Row
 
 
+def _occurrence_counter() -> "defaultdict[object, int]":
+    """Module-level factory so scheme instances stay picklable.
+
+    Process-backed fleet members receive their scheme copy over a pipe; a
+    ``defaultdict(lambda: ...)`` would make every Arx instance unpicklable.
+    """
+    return defaultdict(int)
+
+
 class ArxIndexScheme(EncryptedSearchScheme):
     """Counter-based indexable encryption with owner-side occurrence counters."""
 
@@ -54,7 +63,7 @@ class ArxIndexScheme(EncryptedSearchScheme):
         self._tag_key = self._key.derive("tag")
         # Owner-side metadata: attribute -> value -> number of occurrences seen.
         self._counters: Dict[str, Dict[object, int]] = defaultdict(
-            lambda: defaultdict(int)
+            _occurrence_counter
         )
 
     @property

@@ -50,10 +50,31 @@ class SearchToken:
     ``payload`` is scheme-specific (a PRF output, a ciphertext, a share...).
     ``hint`` carries scheme-specific routing information (e.g. the Arx
     counter index); it must not reveal the plaintext value.
+
+    Tokens are interned by the owner per sensitive bin and re-sent for every
+    retrieval of the bin, so the same token objects are hashed over and over
+    (request interning keys on token tuples); the hash is computed once and
+    cached on the instance (and excluded from pickles — process-backed
+    members receive tokens over a pipe).
     """
 
     payload: bytes
     hint: Optional[int] = None
+
+    def __hash__(self) -> int:
+        cached = self.__dict__.get("_hash")
+        if cached is None:
+            cached = hash((self.payload, self.hint))
+            object.__setattr__(self, "_hash", cached)
+        return cached
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_hash", None)
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
 
 
 @dataclass(frozen=True)

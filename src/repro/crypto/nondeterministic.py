@@ -37,6 +37,15 @@ from repro.data.relation import Row
 from repro.exceptions import CryptoError
 
 
+def _address_list() -> "defaultdict[object, List[int]]":
+    """Module-level factory so scheme instances stay picklable.
+
+    Process-backed fleet members receive their scheme copy over a pipe; a
+    ``defaultdict(lambda: ...)`` would make every instance unpicklable.
+    """
+    return defaultdict(list)
+
+
 class NonDeterministicScheme(EncryptedSearchScheme):
     """AES-GCM (or HMAC-stream fallback) probabilistic row encryption.
 
@@ -60,7 +69,7 @@ class NonDeterministicScheme(EncryptedSearchScheme):
         self._addr_key = self._key.derive("addr")
         # Owner-side metadata: attribute -> value -> [rid, ...]
         self._address_book: Dict[str, Dict[object, List[int]]] = defaultdict(
-            lambda: defaultdict(list)
+            _address_list
         )
 
     @property

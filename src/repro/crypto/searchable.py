@@ -104,14 +104,30 @@ class SSEScheme(EncryptedSearchScheme):
     def search(
         self, stored: Sequence[EncryptedRow], tokens: Sequence[SearchToken]
     ) -> List[EncryptedRow]:
+        """Trial-test every stored row against every token (CPU-bound).
+
+        This loop *is* the cloud's per-query cost for SSE — one PRF
+        evaluation per (row, token) pair until a match — and the reason
+        process-backed fleet members exist: under Query Binning each member
+        trial-decrypts only its own bins' slices, and only separate
+        processes let those slices be tested in parallel.  The loop body
+        binds its globals locally and hoists the token payloads; with tags
+        of ``nonce || PRF(token, nonce)`` per row, that keeps the pure-Python
+        overhead per PRF evaluation minimal.
+        """
         matches: List[EncryptedRow] = []
+        append = matches.append
+        prf_local = prf
+        equals = constant_time_equals
+        payloads = [token.payload for token in tokens]
         for row in stored:
-            if len(row.search_tag) < NONCE_BYTES:
+            search_tag = row.search_tag
+            if len(search_tag) < NONCE_BYTES:
                 raise CryptoError("malformed SSE search tag")
-            nonce = row.search_tag[:NONCE_BYTES]
-            tag = row.search_tag[NONCE_BYTES:]
-            for token in tokens:
-                if constant_time_equals(prf(token.payload, nonce), tag):
-                    matches.append(row)
+            nonce = search_tag[:NONCE_BYTES]
+            tag = search_tag[NONCE_BYTES:]
+            for payload in payloads:
+                if equals(prf_local(payload, nonce), tag):
+                    append(row)
                     break
         return matches

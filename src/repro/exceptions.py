@@ -60,6 +60,18 @@ class MemberFailure(CloudError):
     """
 
 
+class ProcessMemberError(CloudError):
+    """The worker protocol behind a process-backed fleet member broke.
+
+    Raised by :class:`repro.cloud.process_member.ProcessMemberProxy` when the
+    member process is unreachable *outside* of batch service — during
+    outsourcing, index builds, or observation management.  A worker that
+    dies while serving a batch is reported as :class:`MemberFailure`
+    instead, so a real process loss flows into the fleet's retry/failover
+    machinery exactly like a simulated crash.
+    """
+
+
 class FleetDegradedError(CloudError):
     """Too many members failed: a request half has no live replica left.
 

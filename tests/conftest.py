@@ -156,6 +156,7 @@ class ExecutionParityHarness:
         key_phrase: str = "parity-key",
         replication_factor: int = 1,
         server_factory: Optional[Callable[..., CloudServer]] = None,
+        member_backend: str = "thread",
     ):
         self.dataset = dataset
         self.scheme_factory = scheme_factory
@@ -166,6 +167,8 @@ class ExecutionParityHarness:
         self.key_phrase = key_phrase
         self.replication_factor = replication_factor
         self.server_factory = server_factory
+        self.member_backend = member_backend
+        self._fleets: List[MultiCloud] = []
 
     # -- construction --------------------------------------------------------
     def make_engine(self, sharded: bool = False) -> QueryBinningEngine:
@@ -180,6 +183,7 @@ class ExecutionParityHarness:
                     self.num_shards,
                     use_encrypted_indexes=self.use_encrypted_indexes,
                     server_factory=self.server_factory,
+                    member_backend=self.member_backend,
                 )
                 if sharded
                 else None
@@ -187,7 +191,18 @@ class ExecutionParityHarness:
             shard_policy=self.shard_policy,
             replication_factor=self.replication_factor,
         )
+        if engine.multi_cloud is not None:
+            self._fleets.append(engine.multi_cloud)
         return engine.setup()
+
+    def close(self) -> None:
+        """Reap worker processes of every fleet this harness built.
+
+        Proxy mirrors stay readable after close, so assertions may still
+        inspect a closed run's views and statistics.
+        """
+        for fleet in self._fleets:
+            fleet.close()
 
     def workload(self, repeats: int = 2, seed: int = 41) -> List[object]:
         values = list(self.dataset.all_values) * repeats
@@ -625,14 +640,20 @@ def parity_harness(parity_dataset):
         harness.assert_identical_results(runs)
     """
 
+    made: List[ExecutionParityHarness] = []
+
     def _make(scheme_factory, dataset=None, **kwargs) -> ExecutionParityHarness:
-        return ExecutionParityHarness(
+        harness = ExecutionParityHarness(
             dataset if dataset is not None else parity_dataset,
             scheme_factory,
             **kwargs,
         )
+        made.append(harness)
+        return harness
 
-    return _make
+    yield _make
+    for harness in made:
+        harness.close()
 
 
 @pytest.fixture
@@ -649,11 +670,17 @@ def fault_harness(parity_dataset):
         harness.assert_degraded_parity(healthy, degraded)
     """
 
+    made: List[FaultInjectionHarness] = []
+
     def _make(scheme_factory, dataset=None, **kwargs) -> FaultInjectionHarness:
-        return FaultInjectionHarness(
+        harness = FaultInjectionHarness(
             dataset if dataset is not None else parity_dataset,
             scheme_factory,
             **kwargs,
         )
+        made.append(harness)
+        return harness
 
-    return _make
+    yield _make
+    for harness in made:
+        harness.close()

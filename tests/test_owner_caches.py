@@ -1,0 +1,232 @@
+"""Owner-side cache bounds: token-cache and plaintext-cache FIFO eviction.
+
+The engine keeps three per-bin caches on the query path — search tokens,
+interned requests, and decrypted plaintexts.  These tests pin the cap
+semantics (FIFO eviction at the boundary, ``0`` disables, ``None`` =
+unbounded), prove correctness is unaffected by eviction and recomputation,
+and prove a rebin (the one event that changes what every cache entry means)
+fully invalidates all of them — for all four schemes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+import pytest
+
+from repro.cloud.server import CloudServer
+from repro.core.engine import QueryBinningEngine
+from repro.crypto.arx_index import ArxIndexScheme
+from repro.crypto.deterministic import DeterministicScheme
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.crypto.searchable import SSEScheme
+from repro.crypto.primitives import SecretKey
+from repro.extensions.inserts import IncrementalInserter
+from repro.workloads.generator import generate_partitioned_dataset
+
+SCHEMES = {
+    "deterministic": DeterministicScheme,
+    "arx-index": ArxIndexScheme,
+    "non-deterministic": NonDeterministicScheme,
+    "sse": SSEScheme,
+}
+
+
+def _make_dataset(seed: int = 7):
+    return generate_partitioned_dataset(
+        num_values=30,
+        sensitivity_fraction=0.5,
+        association_fraction=0.6,
+        tuples_per_value=2,
+        seed=seed,
+    )
+
+
+def _make_engine(dataset, scheme_factory, **caps) -> QueryBinningEngine:
+    engine = QueryBinningEngine(
+        partition=dataset.partition,
+        attribute=dataset.attribute,
+        scheme=scheme_factory(SecretKey.from_passphrase("cache-tests")),
+        cloud=CloudServer(),
+        rng=random.Random(3),
+        **caps,
+    )
+    return engine.setup()
+
+
+def _expected_rids(dataset, value) -> List[int]:
+    """Ground truth straight off the partitions."""
+    attribute = dataset.attribute
+    rids = [
+        row.rid
+        for relation in (dataset.partition.sensitive, dataset.partition.non_sensitive)
+        for row in relation.rows
+        if row[attribute] == value
+    ]
+    return sorted(rids)
+
+
+def _values_in_distinct_sensitive_bins(engine, count: int) -> List[object]:
+    """One query value per sensitive bin, for ``count`` different bins."""
+    values = []
+    for bin_ in engine.layout.sensitive_bins:
+        if bin_.values:
+            values.append(bin_.values[0])
+        if len(values) == count:
+            return values
+    raise AssertionError(f"layout has fewer than {count} non-empty sensitive bins")
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+class TestCacheCapBoundary:
+    def test_fifo_eviction_at_cap(self, scheme_name):
+        """With cap=2, the third distinct bin evicts the first-inserted one —
+        and every query stays correct through eviction and recomputation."""
+        dataset = _make_dataset()
+        engine = _make_engine(
+            dataset,
+            SCHEMES[scheme_name],
+            token_cache_bins=2,
+            plaintext_cache_bins=2,
+        )
+        value_a, value_b, value_c = _values_in_distinct_sensitive_bins(engine, 3)
+        bins = {
+            value: engine.retriever.retrieve(value).sensitive_bin_index
+            for value in (value_a, value_b, value_c)
+        }
+
+        for value in (value_a, value_b):
+            assert sorted(r.rid for r in engine.query(value)) == _expected_rids(
+                dataset, value
+            )
+        assert set(engine._token_cache) == {bins[value_a], bins[value_b]}
+        assert set(engine._decrypted_bin_cache) == {bins[value_a], bins[value_b]}
+
+        # third bin crosses the cap: FIFO drops value_a's bin
+        assert sorted(r.rid for r in engine.query(value_c)) == _expected_rids(
+            dataset, value_c
+        )
+        assert set(engine._token_cache) == {bins[value_b], bins[value_c]}
+        assert set(engine._decrypted_bin_cache) == {bins[value_b], bins[value_c]}
+        assert len(engine._request_cache) <= 2  # same cap bounds the requests
+
+        # a hit does not evict; re-querying the evicted bin recomputes
+        # correctly and evicts the now-oldest entry
+        assert sorted(r.rid for r in engine.query(value_b)) == _expected_rids(
+            dataset, value_b
+        )
+        assert sorted(r.rid for r in engine.query(value_a)) == _expected_rids(
+            dataset, value_a
+        )
+        assert set(engine._token_cache) == {bins[value_c], bins[value_a]}
+        assert set(engine._decrypted_bin_cache) == {bins[value_c], bins[value_a]}
+
+    def test_cap_zero_disables_caching(self, scheme_name):
+        dataset = _make_dataset()
+        engine = _make_engine(
+            dataset,
+            SCHEMES[scheme_name],
+            token_cache_bins=0,
+            plaintext_cache_bins=0,
+        )
+        for value in _values_in_distinct_sensitive_bins(engine, 3):
+            assert sorted(r.rid for r in engine.query(value)) == _expected_rids(
+                dataset, value
+            )
+        assert engine._token_cache == {}
+        assert engine._request_cache == {}
+        assert engine._decrypted_bin_cache == {}
+
+    def test_cap_none_is_unbounded(self, scheme_name):
+        dataset = _make_dataset()
+        engine = _make_engine(
+            dataset,
+            SCHEMES[scheme_name],
+            token_cache_bins=None,
+            plaintext_cache_bins=None,
+        )
+        values = _values_in_distinct_sensitive_bins(
+            engine, engine.layout.num_sensitive_bins
+        )
+        for value in values:
+            assert sorted(r.rid for r in engine.query(value)) == _expected_rids(
+                dataset, value
+            )
+        assert len(engine._token_cache) == len(values)
+        assert len(engine._decrypted_bin_cache) == len(values)
+
+    def test_eviction_matches_uncapped_results(self, scheme_name):
+        """A thrashing cap (1) and an unbounded cache answer a mixed workload
+        identically — eviction can only cost recomputation, never rows."""
+        dataset = _make_dataset()
+        capped = _make_engine(
+            dataset,
+            SCHEMES[scheme_name],
+            token_cache_bins=1,
+            plaintext_cache_bins=1,
+        )
+        unbounded = _make_engine(
+            dataset,
+            SCHEMES[scheme_name],
+            token_cache_bins=None,
+            plaintext_cache_bins=None,
+        )
+        workload = list(dataset.all_values) * 2
+        random.Random(23).shuffle(workload)
+        capped_rows = [
+            sorted(r.rid for r in rows)
+            for rows, _ in capped.execute_workload_with_rows(workload)
+        ]
+        unbounded_rows = [
+            sorted(r.rid for r in rows)
+            for rows, _ in unbounded.execute_workload_with_rows(workload)
+        ]
+        assert capped_rows == unbounded_rows
+        assert len(capped._token_cache) <= 1
+        assert len(capped._decrypted_bin_cache) <= 1
+
+
+@pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+class TestRebinInvalidation:
+    def test_rebin_clears_every_owner_cache(self, scheme_name):
+        """A rebin re-encrypts and re-bins everything; stale tokens, interned
+        requests, or plaintexts would silently answer from the dead layout."""
+        dataset = _make_dataset(seed=11)
+        engine = _make_engine(dataset, SCHEMES[scheme_name])
+        inserter = IncrementalInserter(engine)
+
+        for value in _values_in_distinct_sensitive_bins(engine, 3):
+            engine.query(value)
+        assert engine._token_cache and engine._decrypted_bin_cache
+        assert engine._request_cache
+
+        inserter.rebin()
+        assert engine._token_cache == {}
+        assert engine._request_cache == {}
+        assert engine._decrypted_bin_cache == {}
+
+        # the rebuilt layout answers correctly (fresh tokens/plaintexts)
+        for value in _values_in_distinct_sensitive_bins(engine, 3):
+            assert sorted(r.rid for r in engine.query(value)) == _expected_rids(
+                dataset, value
+            )
+
+    def test_sensitive_insert_invalidates(self, scheme_name):
+        """A sensitive insert changes owner metadata (address books, counters)
+        and bin ciphertexts: every cached token set and plaintext must go."""
+        dataset = _make_dataset(seed=13)
+        engine = _make_engine(dataset, SCHEMES[scheme_name])
+        value = _values_in_distinct_sensitive_bins(engine, 1)[0]
+        engine.query(value)
+        assert engine._token_cache and engine._decrypted_bin_cache
+
+        template = dict(engine.partition.sensitive.rows[0].values)
+        template[engine.attribute] = value
+        engine.insert(template, sensitive=True)
+        assert engine._token_cache == {}
+        assert engine._request_cache == {}
+        assert engine._decrypted_bin_cache == {}
+
+        rows = sorted(r.rid for r in engine.query(value))
+        assert rows == _expected_rids(dataset, value)
