@@ -58,6 +58,14 @@ loss; the killed run then shows the residual failover overhead (one fewer
 member, same per-request slice sizes).  Results must stay bit-identical
 across both runs — degraded execution is required to be unobservable.
 
+A fourth dimension — ``elastic_fleet`` — measures what membership *churn*
+costs: one fleet carried through the full lifecycle (healthy → one member
+killed → redundancy re-replicated onto the survivors → a fresh member
+joined), with steady-state qps measured at every stage and the slice
+volumes each transition moved recorded alongside.  Results must stay
+bit-identical across all four stages, and redundancy must be back at
+``replication_factor`` copies per bin once the cycle completes.
+
 Run directly to sweep server counts at 100k rows and fold the
 ``multicloud_scaling`` and ``fault_tolerance`` sections into the committed
 ``BENCH_throughput.json``::
@@ -392,6 +400,150 @@ def print_fault_tolerance(section: Dict) -> None:
         )
 
 
+def run_elastic_fleet_comparison(
+    size: int,
+    server_count: int = 5,
+    replication_factor: int = 2,
+    queries: int = 240,
+    use_encrypted_indexes: bool = False,
+    seed: int = 29,
+    warmup: int = 1,
+    repeats: int = 2,
+    victim: int = 0,
+) -> Dict:
+    """Throughput through a kill → re-replicate → join membership cycle.
+
+    Unlike ``run_fault_tolerance_comparison`` (which builds a fresh fleet per
+    run), this carries *one* fleet through the whole lifecycle the elastic
+    subsystem exists for, measuring steady-state qps at every stage:
+
+    1. ``healthy`` — the ``server_count``-member baseline;
+    2. ``member-killed`` — ``victim`` excluded, replicas serving its bins;
+    3. ``re-replicated`` — the loss confirmed and every bin back at
+       ``replication_factor`` copies on the survivors;
+    4. ``member-joined`` — a fresh member admitted and slices rebalanced
+       onto it.
+
+    Results must stay bit-identical across all four stages (checked), and
+    the migration volumes each transition moved are recorded so the
+    throughput numbers can be read against the repair work they bought.
+    """
+    dataset = _build_dataset(size, seed)
+    rng = random.Random(seed + 1)
+    workload = [rng.choice(dataset.all_values) for _ in range(queries)]
+    engine = _build_engine(
+        dataset, server_count, use_encrypted_indexes, replication_factor
+    )
+    fleet = engine.multi_cloud
+    manager = engine.fleet_lifecycle()
+    runs: Dict[str, Dict] = {}
+    reference_rids = None
+    rids_match = True
+
+    def measure_stage(label: str) -> None:
+        nonlocal reference_rids, rids_match
+        measured, result_rids = _measure(
+            engine, len(fleet), workload, warmup=warmup, repeats=repeats
+        )
+        live = sorted(fleet.live_members - fleet.failed_members)
+        measured["members_live"] = len(live)
+        # storage accounting over the members actually serving (a killed or
+        # departed member's rows are no longer part of the fleet's capacity)
+        measured["encrypted_rows_stored"] = sum(
+            fleet[index].encrypted_row_count for index in live
+        )
+        measured["max_rows_stored_per_server"] = max(
+            fleet[index].encrypted_row_count for index in live
+        )
+        if reference_rids is None:
+            reference_rids = result_rids
+        else:
+            rids_match = rids_match and (result_rids == reference_rids)
+        runs[label] = measured
+
+    measure_stage("healthy")
+    fleet.failed_members.add(victim)
+    measure_stage("member-killed")
+    restore_report = manager.restore_redundancy()
+    measure_stage("re-replicated")
+    joined, join_report = manager.add_member()
+    measure_stage("member-joined")
+
+    health = manager.replication_health()
+    healthy_qps = runs["healthy"]["queries_per_second"]
+    for measured in runs.values():
+        measured["qps_fraction_of_healthy"] = (
+            measured["queries_per_second"] / healthy_qps
+            if healthy_qps
+            else float("inf")
+        )
+    return {
+        "relation_rows": size,
+        "queries": queries,
+        "server_count": server_count,
+        "replication_factor": replication_factor,
+        "use_encrypted_indexes": use_encrypted_indexes,
+        "killed_member": victim,
+        "joined_member": joined,
+        "rows_rereplicated": restore_report.rows_copied,
+        "bins_rereplicated": restore_report.bins_copied,
+        "rows_rebalanced_on_join": join_report.rows_copied,
+        "bins_rebalanced_on_join": join_report.bins_copied,
+        "redundancy_restored": bool(health)
+        and set(health.values()) == {replication_factor},
+        "non_collusion_pairs_proved": manager.prove_non_collusion(),
+        "runs": runs,
+        "result_rids_match": rids_match,
+    }
+
+
+def run_elastic_fleet_suite(
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    out_path: Optional[Path] = OUTPUT_PATH,
+    seed: int = 29,
+) -> Dict:
+    """Sweep sizes for the churn-cycle comparison; fold into the trajectory."""
+    section: Dict = {
+        "benchmark": "elastic_fleet",
+        "server_count": 5,
+        "replication_factor": 2,
+        "sizes": [run_elastic_fleet_comparison(size, seed=seed) for size in sizes],
+    }
+    if out_path is not None:
+        trajectory = json.loads(out_path.read_text()) if out_path.exists() else {}
+        trajectory["elastic_fleet"] = section
+        out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return section
+
+
+def print_elastic_fleet(section: Dict) -> None:
+    for comparison in section["sizes"]:
+        rows = []
+        for label in ("healthy", "member-killed", "re-replicated", "member-joined"):
+            measured = comparison["runs"][label]
+            rows.append(
+                (
+                    label,
+                    measured["members_live"],
+                    f"{measured['queries_per_second']:.1f}",
+                    f"{measured['qps_fraction_of_healthy']:.2f}x",
+                    f"{measured['max_rows_stored_per_server']}",
+                )
+            )
+        parity = "ok" if comparison["result_rids_match"] else "MISMATCH"
+        redundancy = "restored" if comparison["redundancy_restored"] else "DEGRADED"
+        print_table(
+            f"elastic fleet @ {comparison['relation_rows']} rows, "
+            f"{comparison['server_count']} servers, "
+            f"k={comparison['replication_factor']} "
+            f"(result parity: {parity}, redundancy: {redundancy}, "
+            f"{comparison['rows_rereplicated']} rows re-replicated, "
+            f"{comparison['rows_rebalanced_on_join']} rows rebalanced on join)",
+            ["stage", "live members", "qps", "vs healthy", "max rows/server"],
+            rows,
+        )
+
+
 def run_process_member_comparison(
     size: int,
     server_count: int = 4,
@@ -649,6 +801,23 @@ def test_failover_overhead_acceptance():
 
 
 @pytest.mark.perf
+@pytest.mark.faults
+@pytest.mark.chaos
+def test_elastic_cycle_smoke():
+    """Fast check: qps stays sane and results bit-identical through a full
+    kill → re-replicate → join cycle, with redundancy back at k after it."""
+    comparison = run_elastic_fleet_comparison(
+        2_000, queries=60, warmup=1, repeats=1
+    )
+    assert comparison["result_rids_match"] is True
+    assert comparison["redundancy_restored"] is True
+    assert comparison["rows_rereplicated"] > 0
+    assert comparison["non_collusion_pairs_proved"] > 0
+    for stage in ("member-killed", "re-replicated", "member-joined"):
+        assert comparison["runs"][stage]["qps_fraction_of_healthy"] > 0.2, stage
+
+
+@pytest.mark.perf
 def test_process_member_parity_smoke():
     """Fast default-run check: process-backed members return bit-identical
     results to threads and the single server, and divide the SSE
@@ -726,6 +895,8 @@ if __name__ == "__main__":
     print_results(suite_section)
     fault_section = run_fault_tolerance_suite()
     print_fault_tolerance(fault_section)
+    elastic_section = run_elastic_fleet_suite()
+    print_elastic_fleet(elastic_section)
     process_section = run_process_member_suite()
     print_process_members(process_section)
     print(f"\ntrajectory written to {OUTPUT_PATH}")

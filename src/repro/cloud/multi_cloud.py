@@ -114,13 +114,28 @@ from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    FrozenSet,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.cloud.network import NetworkModel
 from repro.cloud.process_member import ProcessMemberProxy
 from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
 from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
-from repro.data.partition import SHARD_POLICIES, replica_chain, stable_item_hash
+from repro.data.partition import (
+    SHARD_POLICIES,
+    rendezvous_order,
+    replica_chain,
+    stable_item_hash,
+)
 from repro.data.relation import Relation, Row
 from repro.exceptions import CloudError, FleetDegradedError, MemberFailure
 
@@ -148,6 +163,18 @@ class FleetBatchReport:
     placements: Tuple[Tuple[HalfPlacement, HalfPlacement], ...]
     failed_members: frozenset
     rerouted_halves: int
+
+
+@dataclass(frozen=True)
+class FleetDeployment:
+    """What the fleet was last outsourced with — the context membership
+    changes need to initialise fresh members (join/replace) without a full
+    re-outsource: the cleartext relation and index attribute every member
+    mirrors, and the scheme whose cloud-side logic serves the slices."""
+
+    attribute: str
+    non_sensitive: Relation
+    scheme: EncryptedSearchScheme
 
 
 @dataclass
@@ -186,6 +213,19 @@ class ShardRouter:
     Bins outside the counts the router was built for (layouts can grow
     through incremental re-binning) fall back to hash placement, so routing
     stays total without rebuilding.
+
+    ``live_members`` (default: every slot) restricts routing to a subset of
+    the fleet's member slots — the elastic-fleet membership view.  Primaries
+    keep their *static* slot assignment (so bins anchored on live members
+    never move when an unrelated member dies), but chains walk the ring
+    skipping non-live slots: a bin whose static chain touches a dead member
+    extends to the next live successor, which is exactly where the lifecycle
+    manager re-replicates its slice.  The cleartext segment becomes "every
+    live member outside the bin's live chain", ordered by rendezvous hash
+    after the static preferred pick — so a dead member's cleartext load
+    spreads across all eligible survivors instead of piling onto one
+    deterministic successor.  Full membership degrades to the static
+    behaviour bit-for-bit.
     """
 
     def __init__(
@@ -195,6 +235,7 @@ class ShardRouter:
         num_shards: int,
         policy: str = "hash",
         replication_factor: int = 1,
+        live_members: Optional[Sequence[int]] = None,
     ):
         if num_shards < 2:
             raise CloudError(
@@ -224,6 +265,25 @@ class ShardRouter:
         self.num_shards = num_shards
         self.policy = policy
         self.replication_factor = replication_factor
+        if live_members is None:
+            self.live_members = frozenset(range(num_shards))
+        else:
+            self.live_members = frozenset(live_members)
+            if not self.live_members <= frozenset(range(num_shards)):
+                raise CloudError(
+                    f"live_members {sorted(self.live_members)} outside the "
+                    f"fleet's {num_shards} slots"
+                )
+            if len(self.live_members) < replication_factor + 1:
+                raise CloudError(
+                    f"{len(self.live_members)} live members cannot host "
+                    f"replication_factor={replication_factor} plus a disjoint "
+                    "cleartext member; replace failed members or lower the "
+                    "replication factor"
+                )
+        self._full_membership = len(self.live_members) == num_shards
+        #: primary slot → live chain; tiny key space, hot planning path.
+        self._chain_memo: Dict[int, Tuple[int, ...]] = {}
         self._sensitive_assignment: Dict[object, int] = assign(
             range(num_sensitive_bins), num_shards
         )
@@ -254,6 +314,29 @@ class ShardRouter:
             shard = stable_item_hash(bin_index) % self.num_shards
         return shard
 
+    def _chain_from(self, primary: int) -> Tuple[int, ...]:
+        """The live token chain anchored at slot ``primary``.
+
+        Full membership: the static ring successors (memoised globally).
+        Partial membership: the first ``replication_factor`` *live* slots at
+        or after ``primary`` on the ring — the chain a bin's slice is
+        re-replicated onto after a member loss.
+        """
+        if self._full_membership:
+            return replica_chain(primary, self.num_shards, self.replication_factor)
+        chain = self._chain_memo.get(primary)
+        if chain is None:
+            collected: List[int] = []
+            for offset in range(self.num_shards):
+                member = (primary + offset) % self.num_shards
+                if member in self.live_members:
+                    collected.append(member)
+                    if len(collected) == self.replication_factor:
+                        break
+            chain = tuple(collected)
+            self._chain_memo[primary] = chain
+        return chain
+
     def replicas_of_sensitive(self, bin_index: Optional[int]) -> Tuple[int, ...]:
         """Every member holding bin ``bin_index``'s slice, primary first.
 
@@ -262,16 +345,21 @@ class ShardRouter:
         :meth:`route` and the outsourcing path for unplaced rows.
         """
         primary = 0 if bin_index is None else self.shard_of_sensitive(bin_index)
-        return replica_chain(primary, self.num_shards, self.replication_factor)
+        return self._chain_from(primary)
 
     def cleartext_candidates(
         self, bin_index: Optional[int], sensitive_shard: int
     ) -> Tuple[int, ...]:
         """The failover order for a cleartext half anchored at ``sensitive_shard``.
 
-        All candidates lie in the anchor's cleartext segment (the ring minus
-        the token segment), so every choice — preferred or failover — is
-        guaranteed disjoint from the bin's primary *and* replicas.
+        All candidates lie in the anchor's cleartext segment (the live
+        members minus the anchor's live token chain), so every choice —
+        preferred or failover — is guaranteed disjoint from the bin's
+        primary *and* replicas.  The first candidate is the static policy
+        pick when it is eligible (healthy placement never moves); the rest
+        are ordered by rendezvous hash per bin, so a failed member's
+        cleartext traffic spreads over *all* eligible survivors instead of
+        walking one deterministic successor.
         """
         window = self.num_shards - self.replication_factor
         if bin_index is None:
@@ -280,11 +368,20 @@ class ShardRouter:
             raw = self._non_sensitive_raw.get(bin_index)
             if raw is None:
                 raw = stable_item_hash(bin_index)
-        return tuple(
-            (sensitive_shard + self.replication_factor + (raw + step) % window)
-            % self.num_shards
-            for step in range(window)
+        preferred = (
+            sensitive_shard + self.replication_factor + raw % window
+        ) % self.num_shards
+        chain = set(self._chain_from(sensitive_shard))
+        eligible = self.live_members - chain
+        ordered: List[int] = []
+        if preferred in eligible:
+            ordered.append(preferred)
+        ordered.extend(
+            member
+            for member in rendezvous_order(bin_index, sorted(eligible))
+            if member != preferred
         )
+        return tuple(ordered)
 
     def shard_of_non_sensitive(self, bin_index: Optional[int], sensitive_shard: int) -> int:
         """The preferred member for a cleartext half, guaranteed ≠ any token member."""
@@ -314,9 +411,7 @@ class ShardRouter:
             anchor = self.shard_of_sensitive(request.sensitive_bin_index)
         sensitive: Optional[Tuple[int, ...]] = None
         if request.has_sensitive_half:
-            sensitive = replica_chain(
-                anchor, self.num_shards, self.replication_factor
-            )
+            sensitive = self._chain_from(anchor)
         non_sensitive: Optional[Tuple[int, ...]] = None
         if request.has_non_sensitive_half:
             non_sensitive = self.cleartext_candidates(
@@ -339,14 +434,20 @@ class ShardRouter:
         )
 
     def rebalanced(
-        self, num_shards: int, replication_factor: Optional[int] = None
+        self,
+        num_shards: int,
+        replication_factor: Optional[int] = None,
+        live_members: Optional[Sequence[int]] = None,
     ) -> "ShardRouter":
         """The router for the same layout on a different fleet size.
 
-        Pure function of (bin counts, policy, count, replication factor):
-        rebalancing to ``k`` servers and back reproduces the original
-        assignment — replica chains included — exactly.  The replication
-        factor is preserved unless explicitly overridden.
+        Pure function of (bin counts, policy, count, replication factor,
+        membership): rebalancing to ``k`` servers and back reproduces the
+        original assignment — replica chains included — exactly.  The
+        replication factor is preserved unless explicitly overridden;
+        membership defaults to every slot of the new size (pass
+        ``live_members`` when growing a fleet that still carries failed or
+        departed slots).
         """
         return ShardRouter(
             self.num_sensitive_bins,
@@ -358,6 +459,26 @@ class ShardRouter:
                 if replication_factor is None
                 else replication_factor
             ),
+            live_members=live_members,
+        )
+
+    def with_membership(self, live_members: Sequence[int]) -> "ShardRouter":
+        """The same router restricted to ``live_members``.
+
+        The elastic-fleet transition primitive: primaries stay on their
+        static slots, chains and cleartext segments are recomputed over the
+        live subset.  Routing through the result is only correct once the
+        slices it promises have actually been migrated — use
+        :class:`repro.cloud.lifecycle.FleetLifecycleManager`, which pairs
+        every membership change with the matching slice migration.
+        """
+        return ShardRouter(
+            self.num_sensitive_bins,
+            self.num_non_sensitive_bins,
+            self.num_shards,
+            policy=self.policy,
+            replication_factor=self.replication_factor,
+            live_members=live_members,
         )
 
     def sensitive_assignment(self) -> Dict[int, int]:
@@ -408,6 +529,7 @@ class MultiCloud:
         server_factory: Optional[Callable[..., CloudServer]] = None,
         member_retries: int = 1,
         member_backend: str = "thread",
+        rpc_timeout: Optional[float] = None,
     ):
         if count < 2:
             raise CloudError("a multi-cloud deployment needs at least 2 servers")
@@ -418,37 +540,52 @@ class MultiCloud:
                 f"unknown member_backend {member_backend!r}; choose from "
                 f"{list(self.MEMBER_BACKENDS)}"
             )
-        factory = network_factory or NetworkModel
+        # Member-construction config is retained: elastic membership ops
+        # (add_member/replace_member) build new members identical to the
+        # originals.
+        self._network_factory = network_factory or NetworkModel
+        self._server_factory = server_factory
+        self._use_indexes = use_indexes
+        self._use_encrypted_indexes = use_encrypted_indexes
+        self._rpc_timeout = rpc_timeout
         self.member_backend = member_backend
-        if member_backend == "process":
-            self.servers: List[CloudServer] = [
-                ProcessMemberProxy(
-                    name=f"cloud-{index}",
-                    network_factory=factory,
-                    server_factory=server_factory,
-                    use_indexes=use_indexes,
-                    use_encrypted_indexes=use_encrypted_indexes,
-                )
-                for index in range(count)
-            ]
-        else:
-            make_server = server_factory or CloudServer
-            self.servers = [
-                make_server(
-                    name=f"cloud-{index}",
-                    network=factory(),
-                    use_indexes=use_indexes,
-                    use_encrypted_indexes=use_encrypted_indexes,
-                )
-                for index in range(count)
-            ]
+        self.servers: List[CloudServer] = [
+            self._new_member(index) for index in range(count)
+        ]
         self.member_retries = member_retries
         self.failed_members: Set[int] = set()
+        #: slots whose members left the fleet for good (graceful leave or
+        #: loss without replacement).  Slots are stable identities — a
+        #: departed slot is never reused except by replace_member — so
+        #: reports, error maps, and router live sets stay index-consistent
+        #: across membership churn.
+        self.departed_members: Set[int] = set()
         self.last_report: Optional[FleetBatchReport] = None
+        #: what outsource_sharded last deployed (fresh members need it)
+        self.last_deployment: Optional[FleetDeployment] = None
         #: last crash observed per member, kept for diagnosis: a
         #: FleetDegradedError reports *why* the exhausted chain's candidates
         #: died instead of leaving only "all failed".
         self._member_errors: Dict[int, CloudError] = {}
+
+    def _new_member(self, index: int) -> CloudServer:
+        """Build one member exactly as the constructor would have."""
+        if self.member_backend == "process":
+            return ProcessMemberProxy(
+                name=f"cloud-{index}",
+                network_factory=self._network_factory,
+                server_factory=self._server_factory,
+                rpc_timeout=self._rpc_timeout,
+                use_indexes=self._use_indexes,
+                use_encrypted_indexes=self._use_encrypted_indexes,
+            )
+        make_server = self._server_factory or CloudServer
+        return make_server(
+            name=f"cloud-{index}",
+            network=self._network_factory(),
+            use_indexes=self._use_indexes,
+            use_encrypted_indexes=self._use_encrypted_indexes,
+        )
 
     def __len__(self) -> int:
         return len(self.servers)
@@ -476,10 +613,95 @@ class MultiCloud:
     def __exit__(self, *_exc_info) -> None:
         self.close()
 
+    # -- elastic membership -------------------------------------------------------
+    @property
+    def live_members(self) -> FrozenSet[int]:
+        """Slots currently part of the fleet (departed tombstones excluded).
+
+        Failed-but-present members *are* live: they still hold their slices
+        and may recover.  Routing excludes them transiently via
+        ``failed_members``; only a departure (or replacement) changes the
+        membership a router should be built for.
+        """
+        return frozenset(
+            index
+            for index in range(len(self.servers))
+            if index not in self.departed_members
+        )
+
+    def _validate_slot(self, index: int) -> None:
+        if not 0 <= index < len(self.servers):
+            raise CloudError(
+                f"no member slot {index}; fleet has slots 0..{len(self.servers) - 1}"
+            )
+
+    def add_member(self) -> int:
+        """Append a fresh, empty member slot and return its index.
+
+        The new member is built exactly like the originals (same backend,
+        network model, server factory, RPC timeout) but holds no data and is
+        not yet part of any router's membership.  Pair with
+        :meth:`FleetLifecycleManager.add_member <repro.cloud.lifecycle.FleetLifecycleManager.add_member>`,
+        which initialises the member from :attr:`last_deployment`, migrates
+        the bin slices the rebalanced router assigns it, and swaps routers —
+        adding a raw slot without migrating is only safe for tests.
+        """
+        index = len(self.servers)
+        self.servers.append(self._new_member(index))
+        return index
+
+    def remove_member(self, index: int) -> None:
+        """Tombstone slot ``index``: the member leaves the fleet for good.
+
+        The slot is *retained* (never reused, except by
+        :meth:`replace_member`) so member indexes stay stable across churn —
+        reports, error maps, and router live sets never need remapping.  The
+        member's resources are released; its observation mirrors stay
+        readable.  This does **not** migrate the member's slices — the
+        lifecycle manager migrates first, then calls this.
+        """
+        self._validate_slot(index)
+        if index in self.departed_members:
+            raise CloudError(f"member {index} has already departed the fleet")
+        self.departed_members.add(index)
+        self.failed_members.discard(index)
+        self._member_errors.pop(index, None)
+        close = getattr(self.servers[index], "close", None)
+        if close is not None:
+            close()
+
+    def replace_member(self, index: int) -> CloudServer:
+        """Swap a fresh, empty member into slot ``index`` and return it.
+
+        The old member (crashed, abandoned, or simply being rotated out) is
+        released.  The fresh member starts *excluded* (in
+        ``failed_members``): it holds none of the slot's slices yet, so
+        routing to it would return wrong results.  Re-admit it with
+        :meth:`mark_recovered` once its slices are restored — the lifecycle
+        manager's ``replace_member`` does initialise + migrate + re-admit as
+        one operation.
+        """
+        self._validate_slot(index)
+        close = getattr(self.servers[index], "close", None)
+        if close is not None:
+            close()
+        fresh = self._new_member(index)
+        self.servers[index] = fresh
+        self.departed_members.discard(index)
+        self.failed_members.add(index)
+        self._member_errors.pop(index, None)
+        return fresh
+
+    def _excluded(self, member: int) -> bool:
+        """Whether routing must skip ``member`` (failed or departed)."""
+        return member in self.failed_members or member in self.departed_members
+
     # -- outsourcing --------------------------------------------------------------
     def broadcast_non_sensitive(self, relation: Relation) -> None:
         """Store the cleartext relation on every server (it is public anyway)."""
-        for server in self.servers:
+        for index, server in enumerate(self.servers):
+            if index in self.departed_members:
+                continue
             server.store_non_sensitive(relation)
 
     def distribute_sensitive(
@@ -525,10 +747,20 @@ class MultiCloud:
         per_server_rows, per_server_bins = self._replicated_row_groups(
             encrypted_rows, bin_assignment, router
         )
-        for server, rows, bins in zip(self.servers, per_server_rows, per_server_bins):
+        for index, (server, rows, bins) in enumerate(
+            zip(self.servers, per_server_rows, per_server_bins)
+        ):
+            if index in self.departed_members:
+                continue
             server.store_non_sensitive(non_sensitive)
             server.store_sensitive(rows, scheme, bin_assignment=bins or None)
             server.build_index(attribute)
+        # Retained so membership changes can initialise fresh members
+        # (cleartext relation + scheme + index attribute) without a full
+        # re-outsource; slices themselves migrate via the lifecycle manager.
+        self.last_deployment = FleetDeployment(
+            attribute=attribute, non_sensitive=non_sensitive, scheme=scheme
+        )
 
     def _replicated_row_groups(
         self,
@@ -568,13 +800,17 @@ class MultiCloud:
         per_server_rows, per_server_bins = self._replicated_row_groups(
             encrypted_rows, bin_assignment, router
         )
-        for server, rows, bins in zip(self.servers, per_server_rows, per_server_bins):
-            if rows:
+        for index, (server, rows, bins) in enumerate(
+            zip(self.servers, per_server_rows, per_server_bins)
+        ):
+            if rows and index not in self.departed_members:
                 server.append_sensitive(rows, bin_assignment=bins)
 
     def register_non_sensitive_row(self, row: Row) -> None:
         """Account for a cleartext row inserted into the shared relation."""
-        for server in self.servers:
+        for index, server in enumerate(self.servers):
+            if index in self.departed_members:
+                continue
             server.register_non_sensitive_row(row)
 
     # -- querying --------------------------------------------------------------------
@@ -694,10 +930,10 @@ class MultiCloud:
         return units, slot_pairs
 
     def _assign_live_member(self, unit: _HalfUnit) -> None:
-        """Point ``unit`` at its first candidate not in the failed set."""
+        """Point ``unit`` at its first candidate not failed or departed."""
         while unit.attempt < len(unit.candidates):
             member = unit.candidates[unit.attempt]
-            if member not in self.failed_members:
+            if not self._excluded(member):
                 unit.member = member
                 return
             unit.attempt += 1
@@ -794,7 +1030,7 @@ class MultiCloud:
             # (two members failing together); an excluded member must never
             # be handed further work.
             for unit in pending:
-                if unit.candidates[unit.attempt] in self.failed_members:
+                if self._excluded(unit.candidates[unit.attempt]):
                     self._assign_live_member(unit)
                     rerouted += 1
             groups: Dict[int, List[_HalfUnit]] = {}
@@ -943,18 +1179,69 @@ class MultiCloud:
         return sum(getattr(server.stats, field_name) for server in self.servers)
 
     def reset_observations(self) -> None:
-        """Clear every member's views and counters (between experiments)."""
-        for server in self.servers:
-            server.reset_observations()
+        """Clear every member's views and counters (between experiments).
+
+        Total over a churning fleet: a member discovered unreachable during
+        the reset is excluded exactly like a mid-batch failure (and its
+        local mirrors still cleared) instead of failing the fleet-wide
+        reset — resets between workloads must not depend on every member
+        being alive.
+        """
+        for index, server in enumerate(self.servers):
+            try:
+                server.reset_observations()
+            except CloudError as error:
+                if index not in self.departed_members:
+                    self.failed_members.add(index)
+                    self._member_errors.setdefault(index, error)
+                if getattr(server, "closed", False):
+                    # the failed RPC marked the proxy closed; this pass is
+                    # mirror-only and cannot raise again
+                    server.reset_observations()
+
+    def mark_recovered(self, index: int) -> None:
+        """Forget one member's failed-member exclusion.
+
+        Refuses members that *cannot* serve again no matter what the caller
+        believes: departed slots (their data is gone with them) and
+        process-backed members whose worker was abandoned — re-admitting
+        either would hand queries to a member that answers wrongly or not at
+        all.  Those slots are repaired with :meth:`replace_member` (which
+        installs a fresh, markable member) instead.  A member that is merely
+        *suspected* down is fine to re-admit: the next batch's
+        retry/failover machinery re-detects (and re-excludes) it if the
+        suspicion was right.
+        """
+        self._validate_slot(index)
+        if index in self.departed_members:
+            raise CloudError(
+                f"member {index} has departed the fleet; departed slots are "
+                "never re-admitted — join a fresh member with add_member or "
+                "re-populate the slot with replace_member"
+            )
+        if getattr(self.servers[index], "closed", False):
+            raise CloudError(
+                f"member {index} was abandoned (its worker process is gone) "
+                "and cannot serve again; swap in a fresh member with "
+                "replace_member and restore its slices before re-admitting"
+            )
+        self.failed_members.discard(index)
+        self._member_errors.pop(index, None)
 
     def mark_all_recovered(self) -> None:
-        """Forget the failed-member exclusions.
+        """Forget the exclusions of every *re-admittable* failed member.
 
-        Call after every member has been repaired or replaced *and*
-        re-outsourced — e.g. a re-binning rebuilds every member's slices from
-        scratch, which is exactly a fleet redeployment.  Members that are in
-        fact still down are re-detected (and re-excluded) by the next batch's
-        retry/failover machinery.
+        Call after the fleet has been repaired *and* re-outsourced — e.g. a
+        re-binning rebuilds every member's slices from scratch, which is
+        exactly a fleet redeployment.  Unlike the per-member
+        :meth:`mark_recovered` this skips (rather than refuses) slots that
+        can never serve again — departed members and abandoned workers —
+        so a redeployment over a partially-elastic fleet still clears what
+        it can; repair the skipped slots with :meth:`replace_member`.
         """
-        self.failed_members.clear()
-        self._member_errors.clear()
+        for index in sorted(self.failed_members):
+            if index in self.departed_members:
+                continue
+            if getattr(self.servers[index], "closed", False):
+                continue
+            self.mark_recovered(index)

@@ -37,6 +37,15 @@ Design
   this backend without serialising members; their counters then tally the
   per-worker work and are not synced back to the owner's scheme object.
 
+* **RPC deadlines.**  Every RPC waits for its reply with
+  ``connection.poll(rpc_timeout)`` instead of a blocking ``recv()``, so a
+  wedged-but-alive worker can hang neither a batch nor ``close()``.  A
+  missed deadline raises :class:`~repro.exceptions.MemberTimeout` (a
+  :class:`~repro.exceptions.MemberFailure`), feeding the fleet's ordinary
+  retry/failover path, and the proxy *abandons* the worker — kills it and
+  marks itself closed — because a late reply could no longer be matched to
+  its request without desynchronising the pipe protocol.
+
 The proxy raises :class:`~repro.exceptions.ProcessMemberError` when the
 worker protocol itself breaks outside a batch (a dead worker during
 outsourcing is a deployment error, not a servable fault).
@@ -60,7 +69,7 @@ from repro.cloud.server import (
 )
 from repro.crypto.base import EncryptedSearchScheme
 from repro.data.relation import Row
-from repro.exceptions import MemberFailure, ProcessMemberError
+from repro.exceptions import MemberFailure, MemberTimeout, ProcessMemberError
 
 _SHUTDOWN = None  # sentinel message ending the worker loop
 
@@ -180,15 +189,25 @@ class ProcessMemberProxy:
     the proxy without special cases.
     """
 
+    #: default RPC deadline in seconds — generous on purpose: it exists to
+    #: catch wedged workers, not to police slow-but-progressing batches.
+    DEFAULT_RPC_TIMEOUT = 60.0
+
     def __init__(
         self,
         name: str,
         network_factory: Optional[Callable[[], NetworkModel]] = None,
         server_factory: Optional[Callable[..., CloudServer]] = None,
+        rpc_timeout: Optional[float] = None,
         **server_kwargs,
     ):
         factory = network_factory or NetworkModel
         self.name = name
+        #: per-RPC reply deadline (seconds); ``None`` restores the blocking
+        #: pre-deadline behaviour (not recommended outside debugging).
+        self.rpc_timeout = (
+            self.DEFAULT_RPC_TIMEOUT if rpc_timeout is None else rpc_timeout
+        )
         self.network = factory()  # mirror: params match the worker's model
         self.view_log = ViewLog()
         self.stats = CloudStatistics()
@@ -220,6 +239,11 @@ class ProcessMemberProxy:
 
     # -- RPC plumbing -------------------------------------------------------------
     def _call(self, method: str, *args, **kwargs):
+        return self._deadline_call(self.rpc_timeout, method, args, kwargs)
+
+    def _deadline_call(
+        self, deadline: Optional[float], method: str, args, kwargs
+    ):
         if self._closed:
             if method == "process_batch":
                 # the member is gone; let the fleet's failover machinery
@@ -228,6 +252,16 @@ class ProcessMemberProxy:
             raise ProcessMemberError(f"{self.name}: member process is closed")
         try:
             self._connection.send((method, args, kwargs))
+            if deadline is not None and not self._connection.poll(deadline):
+                # Wedged (or hopelessly slow) worker.  The pipe still holds
+                # our request, so any late reply could never be matched to a
+                # future call — the only safe move is to abandon the worker
+                # entirely and let failover re-place its work.
+                self._abandon_worker()
+                raise MemberTimeout(
+                    f"{self.name}: no reply to {method!r} within {deadline:.1f}s; "
+                    "worker abandoned"
+                )
             reply = self._connection.recv()
         except (EOFError, OSError, BrokenPipeError) as error:
             self._closed = True
@@ -245,6 +279,24 @@ class ProcessMemberProxy:
         _status, result, delta = reply
         self._apply_delta(delta)
         return result
+
+    def _abandon_worker(self) -> None:
+        """Kill a wedged worker immediately (no graceful shutdown attempt)."""
+        self._closed = True
+        self._finalizer.detach()
+        _shutdown_worker(self._connection, self._process, graceful=False)
+
+    def ping(self, timeout: Optional[float] = None) -> str:
+        """Liveness probe: round-trip a no-op RPC under ``timeout`` seconds.
+
+        Returns the worker-side server's name.  Raises
+        :class:`~repro.exceptions.MemberTimeout` when the worker misses the
+        deadline (it is then abandoned) and
+        :class:`~repro.exceptions.ProcessMemberError` when it is already
+        closed or unreachable.
+        """
+        deadline = self.rpc_timeout if timeout is None else timeout
+        return self._deadline_call(deadline, "ping", (), {})
 
     def _apply_delta(self, delta: ObservationDelta) -> None:
         if delta.records:
@@ -297,6 +349,16 @@ class ProcessMemberProxy:
         self._call("append_sensitive", encrypted_rows, bin_assignment)
         self._encrypted_row_count += len(encrypted_rows)
 
+    def receive_migrated_slice(self, encrypted_rows, bin_assignment=None) -> None:
+        encrypted_rows = list(encrypted_rows)
+        self._call("receive_migrated_slice", encrypted_rows, bin_assignment)
+        self._encrypted_row_count += len(encrypted_rows)
+
+    def drop_sensitive_bins(self, bins) -> int:
+        dropped = self._call("drop_sensitive_bins", list(bins))
+        self._encrypted_row_count -= dropped
+        return dropped
+
     def build_index(self, attribute: str) -> None:
         self._call("build_index", attribute)
 
@@ -312,8 +374,16 @@ class ProcessMemberProxy:
     def reset_observations(self) -> None:
         # The delta already restores the counters (the worker does not reset
         # its query-id counter or index probe counts — neither does a real
-        # server); only the mirrored logs need the matching truncation.
-        self._call("reset_observations")
+        # server); only the mirrored logs need the matching truncation.  A
+        # closed member (dead or departed) has no worker to reset; clearing
+        # the mirrors keeps fleet-wide resets total over tombstones.
+        if not self._closed:
+            self._call("reset_observations")
+        else:
+            # no worker left to reset and no delta coming: zero the mirrored
+            # counters directly so fleet-wide aggregates stop counting a
+            # gone member's past work after a reset
+            self.stats = CloudStatistics()
         self.view_log.clear()
         self.network.reset()
 
@@ -370,15 +440,28 @@ class ProcessMemberProxy:
         return f"ProcessMemberProxy({self.name!r}, {state})"
 
 
-def _shutdown_worker(connection, process) -> None:
-    """Finalizer: ask the worker to exit, then make sure it did."""
-    try:
-        connection.send(_SHUTDOWN)
-    except Exception:
-        pass
-    process.join(timeout=2.0)
-    if process.is_alive():  # pragma: no cover - defensive
+def _shutdown_worker(connection, process, graceful: bool = True) -> None:
+    """Finalizer: ask the worker to exit, then make sure it did.
+
+    Escalates SIGTERM → SIGKILL: a worker wedged in uninterruptible compute
+    (or shielding itself from SIGTERM) must never outlive its proxy, so when
+    the post-terminate join times out the process is killed outright.
+    ``graceful=False`` skips the cooperative shutdown request — used when
+    abandoning a worker already known to be wedged.
+    """
+    if graceful:
+        try:
+            connection.send(_SHUTDOWN)
+        except Exception:
+            pass
+        process.join(timeout=2.0)
+    if process.is_alive():
         process.terminate()
+        process.join(timeout=2.0)
+    if process.is_alive():  # pragma: no cover - needs a SIGTERM-immune worker
+        kill = getattr(process, "kill", None)
+        if kill is not None:
+            kill()
         process.join(timeout=2.0)
     try:
         connection.close()

@@ -269,6 +269,10 @@ class CloudServer:
         self._tag_index: Optional[EncryptedTagIndex] = None
         self._bin_store: Optional[Dict[int, List[EncryptedRow]]] = None
         self._unassigned_sensitive: List[EncryptedRow] = []
+        #: rid → sensitive bin, retained for every scheme (not just the
+        #: bin-addressed store) so slice migration / re-replication can
+        #: extract and drop per-bin slices on any member.
+        self._bin_assignment: Dict[int, int] = {}
         self.view_log = ViewLog()
         self.stats = CloudStatistics()
         self._queries_issued = 0
@@ -323,6 +327,7 @@ class CloudServer:
         self._tag_index = None
         self._bin_store = None
         self._unassigned_sensitive = []
+        self._bin_assignment = dict(bin_assignment) if bin_assignment else {}
         self._invalidate_retrievals()
         if self.use_encrypted_indexes:
             if scheme.supports_tag_index:
@@ -341,15 +346,41 @@ class CloudServer:
         bin_assignment: Optional[Mapping[int, int]] = None,
     ) -> None:
         """Receive additional encrypted rows (inserts, fake-tuple padding)."""
+        self._append_rows(encrypted_rows, bin_assignment)
+        self.network.record("upload", "append sensitive rows", len(encrypted_rows))
+
+    def receive_migrated_slice(
+        self,
+        encrypted_rows: Sequence[EncryptedRow],
+        bin_assignment: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        """Install bin slices copied over from another member.
+
+        Storage semantics are exactly :meth:`append_sensitive`; the transfer
+        is charged to the member-to-member ``"migration-in"`` direction so
+        owner-upload accounting (and its parity comparisons) never absorbs
+        re-replication traffic.
+        """
+        self._append_rows(encrypted_rows, bin_assignment)
+        self.network.record(
+            "migration-in", "install migrated bin slices", len(encrypted_rows)
+        )
+
+    def _append_rows(
+        self,
+        encrypted_rows: Sequence[EncryptedRow],
+        bin_assignment: Optional[Mapping[int, int]],
+    ) -> None:
         start_position = len(self._encrypted_rows)
         self._encrypted_rows.extend(encrypted_rows)
         self._encrypted_rows_snapshot = None
+        if bin_assignment:
+            self._bin_assignment.update(bin_assignment)
         self._invalidate_retrievals()
         if self._tag_index is not None:
             self._tag_index.add_rows(encrypted_rows, start_position)
         if self._bin_store is not None:
             self._place_in_bins(encrypted_rows, bin_assignment or {})
-        self.network.record("upload", "append sensitive rows", len(encrypted_rows))
 
     def _place_in_bins(
         self,
@@ -400,6 +431,98 @@ class CloudServer:
         if self._non_sensitive is None:
             raise CloudError("no non-sensitive relation outsourced yet")
         self._indexes[attribute] = HashIndex(self._non_sensitive, attribute)
+
+    # -- slice migration ------------------------------------------------------------
+    #
+    # Elastic-fleet support: membership changes move bin *slices* between
+    # members instead of re-outsourcing the world.  The three methods below
+    # are the per-member primitives the fleet lifecycle manager composes:
+    # report what is stored, read a slice out, drop a slice that moved away.
+    # ``None`` stands for the pseudo-bin of rows the owner never placed.
+
+    def stored_sensitive_bins(self) -> Dict[Optional[int], int]:
+        """Stored row count per sensitive bin (``None`` = unassigned rows)."""
+        counts: Dict[Optional[int], int] = {}
+        for row in self._encrypted_rows:
+            bin_index = self._bin_assignment.get(row.rid)
+            counts[bin_index] = counts.get(bin_index, 0) + 1
+        return counts
+
+    def sensitive_slice(
+        self, bins: Sequence[Optional[int]]
+    ) -> Tuple[List[EncryptedRow], Dict[int, int]]:
+        """The stored rows of ``bins`` (storage order) plus their bin map.
+
+        Storage order within each bin is identical on every replica (pinned
+        by the replicated-storage tests), so a slice read from *any* chain
+        member re-creates the bin bit-identically on its destination.
+        """
+        wanted = set(bins)
+        include_unassigned = None in wanted
+        rows: List[EncryptedRow] = []
+        assignment: Dict[int, int] = {}
+        for row in self._encrypted_rows:
+            bin_index = self._bin_assignment.get(row.rid)
+            if bin_index is None:
+                if include_unassigned:
+                    rows.append(row)
+            elif bin_index in wanted:
+                rows.append(row)
+                assignment[row.rid] = bin_index
+        self.network.record(
+            "migration-out", f"read {len(wanted)} bin slices", len(rows)
+        )
+        return rows, assignment
+
+    def drop_sensitive_bins(self, bins: Sequence[Optional[int]]) -> int:
+        """Remove the slices of ``bins`` this member no longer owns.
+
+        Rebuilds the derived structures (tag index, bin store) over the
+        surviving rows; index work counters carry over so observation
+        accounting never runs backwards.  Returns the number of rows dropped.
+        """
+        wanted = set(bins)
+        include_unassigned = None in wanted
+        keep: List[EncryptedRow] = []
+        dropped = 0
+        for row in self._encrypted_rows:
+            bin_index = self._bin_assignment.get(row.rid)
+            if (bin_index is None and include_unassigned) or (
+                bin_index is not None and bin_index in wanted
+            ):
+                dropped += 1
+                self._bin_assignment.pop(row.rid, None)
+            else:
+                keep.append(row)
+        if not dropped:
+            return 0
+        self._encrypted_rows = keep
+        self._encrypted_rows_snapshot = None
+        self._invalidate_retrievals()
+        if self._tag_index is not None:
+            assert self._scheme is not None
+            rebuilt = EncryptedTagIndex(self._scheme)
+            rebuilt.add_rows(self._encrypted_rows, 0)
+            rebuilt.probe_count = self._tag_index.probe_count
+            rebuilt.rows_examined = self._tag_index.rows_examined
+            self._tag_index = rebuilt
+        if self._bin_store is not None:
+            self._bin_store = {}
+            self._unassigned_sensitive = []
+            self._place_in_bins(self._encrypted_rows, self._bin_assignment)
+        self.network.record(
+            "migration-drop", f"drop {len(wanted)} bin slices", dropped
+        )
+        return dropped
+
+    def ping(self, timeout: Optional[float] = None) -> str:
+        """Liveness probe; an in-process server is alive by construction.
+
+        ``timeout`` is accepted (and ignored) so fleet health probes can call
+        every member uniformly — only the process-backed proxy can actually
+        enforce a deadline.
+        """
+        return self.name
 
     # -- introspection --------------------------------------------------------------
     @property

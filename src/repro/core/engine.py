@@ -20,6 +20,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.cloud.lifecycle import FleetLifecycleManager
 from repro.cloud.multi_cloud import MultiCloud, ShardRouter
 from repro.cloud.server import BatchRequest, CloudServer, QueryResponse
 from repro.core.binning import create_bins, layout_covers_all_bin_pairs
@@ -251,6 +252,7 @@ class QueryBinningEngine(_PartitionedEngineBase):
         self.shard_max_workers = shard_max_workers
         self.replication_factor = replication_factor
         self.shard_router: Optional[ShardRouter] = None
+        self._lifecycle: Optional[FleetLifecycleManager] = None
         self._rng = rng if rng is not None else (
             random.Random(permutation_seed) if permutation_seed is not None else None
         )
@@ -383,6 +385,9 @@ class QueryBinningEngine(_PartitionedEngineBase):
                 len(self.multi_cloud),
                 policy=self.shard_policy,
                 replication_factor=self.replication_factor,
+                # a fleet that has seen membership churn keeps its departed
+                # slots tombstoned; route (and outsource) around them
+                live_members=sorted(self.multi_cloud.live_members),
             )
             self.multi_cloud.outsource_sharded(
                 self.attribute,
@@ -397,6 +402,48 @@ class QueryBinningEngine(_PartitionedEngineBase):
         self._decrypted_bin_cache.clear()
         self._outsourced = True
         return self
+
+    def fleet_lifecycle(
+        self,
+        probe_timeout: Optional[float] = None,
+        validate_transitions: bool = True,
+    ) -> FleetLifecycleManager:
+        """The lifecycle manager driving this engine's fleet membership.
+
+        Cached per fleet: repeated calls return the same manager (so its
+        transition history accumulates), re-synced to the engine's current
+        router — a ``setup()`` re-run (re-binning) replaces the router, and
+        the manager must drive transitions from the fresh one.  Router
+        changes the manager performs are adopted by the engine immediately,
+        so sharded execution routes through the new membership from the next
+        batch on.  ``probe_timeout`` / ``validate_transitions`` apply when
+        the manager is (re)built, not retroactively.
+        """
+        if self.multi_cloud is None:
+            raise ConfigurationError(
+                "fleet lifecycle management requires a MultiCloud attached "
+                "at construction"
+            )
+        if self.shard_router is None:
+            raise ConfigurationError("call setup() before managing the fleet")
+        manager = self._lifecycle
+        if manager is None or manager.fleet is not self.multi_cloud:
+            fleet = self.multi_cloud
+
+            def adopt_router(router: ShardRouter) -> None:
+                self.shard_router = router
+
+            manager = FleetLifecycleManager(
+                fleet,
+                self.shard_router,
+                probe_timeout=probe_timeout,
+                validate_transitions=validate_transitions,
+                on_router_change=adopt_router,
+            )
+            self._lifecycle = manager
+        elif manager.router is not self.shard_router:
+            manager.router = self.shard_router
+        return manager
 
     def _build_layout(
         self,

@@ -92,6 +92,23 @@ SHARD_POLICIES: Dict[str, Callable[[Sequence[object], int], Dict[object, int]]] 
 }
 
 
+def rendezvous_order(item: object, members: Collection[int]) -> tuple:
+    """Order ``members`` by highest-random-weight for ``item``.
+
+    Classic rendezvous (HRW) hashing: every (item, member) pair gets an
+    independent stable weight and members are ranked by descending weight, so
+    each item picks its own winner and, when a member disappears, only the
+    items it was winning move — spread across *all* survivors in proportion
+    to their weights instead of piling onto one deterministic successor.
+    The shard router uses this to order a bin's cleartext failover
+    candidates; a pure function of its inputs, so any two coordinators (or
+    re-runs) agree on the order.
+    """
+    return tuple(
+        sorted(members, key=lambda member: (-stable_item_hash((item, member)), member))
+    )
+
+
 @lru_cache(maxsize=4096)
 def replica_chain(
     primary: int, num_shards: int, replication_factor: int

@@ -60,6 +60,19 @@ class MemberFailure(CloudError):
     """
 
 
+class MemberTimeout(MemberFailure):
+    """A fleet member missed an RPC deadline (wedged or badly degraded).
+
+    Raised by :class:`repro.cloud.process_member.ProcessMemberProxy` when a
+    worker fails to reply within ``rpc_timeout`` and by health probes that
+    find a member unresponsive.  Subclasses :class:`MemberFailure` because a
+    wedged-but-alive worker must feed the same retry/failover machinery a
+    crashed one does — the alternative is a coordinator blocked forever on a
+    pipe ``recv()``.  The proxy abandons (kills) the worker on timeout, since
+    a late reply from it could no longer be matched to its request.
+    """
+
+
 class ProcessMemberError(CloudError):
     """The worker protocol behind a process-backed fleet member broke.
 

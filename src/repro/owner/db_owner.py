@@ -27,6 +27,7 @@ import random
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.adversary.auditor import PartitionedSecurityAuditor, SecurityReport
+from repro.cloud.lifecycle import FleetLifecycleManager
 from repro.cloud.multi_cloud import MultiCloud
 from repro.cloud.server import CloudServer
 from repro.core.engine import ExecutionTrace, QueryBinningEngine
@@ -188,6 +189,15 @@ class DBOwner:
                 f"attribute {attribute!r} has no sharded fleet; construct the "
                 "owner with num_clouds >= 2 and outsource the attribute first"
             ) from None
+
+    def lifecycle_for(self, attribute: str) -> "FleetLifecycleManager":
+        """The lifecycle manager for ``attribute``'s fleet (membership ops).
+
+        Convenience pass-through to
+        :meth:`QueryBinningEngine.fleet_lifecycle`; router changes the
+        manager performs are adopted by the attribute's engine immediately.
+        """
+        return self.engine_for(attribute).fleet_lifecycle()
 
     def insert(self, values: Dict[str, object]) -> None:
         """Insert a new row, classifying it under the owner's policy."""

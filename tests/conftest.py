@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -157,6 +158,8 @@ class ExecutionParityHarness:
         replication_factor: int = 1,
         server_factory: Optional[Callable[..., CloudServer]] = None,
         member_backend: str = "thread",
+        member_retries: int = 1,
+        rpc_timeout: Optional[float] = None,
     ):
         self.dataset = dataset
         self.scheme_factory = scheme_factory
@@ -168,6 +171,8 @@ class ExecutionParityHarness:
         self.replication_factor = replication_factor
         self.server_factory = server_factory
         self.member_backend = member_backend
+        self.member_retries = member_retries
+        self.rpc_timeout = rpc_timeout
         self._fleets: List[MultiCloud] = []
 
     # -- construction --------------------------------------------------------
@@ -184,6 +189,8 @@ class ExecutionParityHarness:
                     use_encrypted_indexes=self.use_encrypted_indexes,
                     server_factory=self.server_factory,
                     member_backend=self.member_backend,
+                    member_retries=self.member_retries,
+                    rpc_timeout=self.rpc_timeout,
                 )
                 if sharded
                 else None
@@ -398,6 +405,15 @@ class FaultInjectingCloudServer(CloudServer):
     many calls fail (transient faults recover afterwards); ``permanent``
     marks the member dead so every later call fails immediately, modelling
     a machine that stays down.
+
+    ``schedule_stall`` injects *latency* faults instead: the next batches
+    sleep before serving — finite delays model slow-but-progressing members
+    (which must NOT be failed over: they eventually answer correctly);
+    ``forever=True`` models a wedged member that never answers.  A wedge is
+    only usable behind a process-backed proxy, whose RPC deadline abandons
+    the worker — a thread-backed member cannot be interrupted, so wedging it
+    would hang the coordinator (exactly the failure mode RPC deadlines
+    exist to prevent).
     """
 
     def __init__(self, *args, **kwargs):
@@ -405,8 +421,12 @@ class FaultInjectingCloudServer(CloudServer):
         self._fail_at_offset: Optional[int] = None
         self._failures_remaining = 0
         self._fail_permanently = True
+        self._stall_seconds = 0.0
+        self._stalls_remaining = 0
+        self._stall_forever = False
         self.dead = False
         self.failures_injected = 0
+        self.stalls_injected = 0
 
     def schedule_failure(
         self, at_offset: int = 0, failures: int = 1, permanent: bool = True
@@ -416,7 +436,26 @@ class FaultInjectingCloudServer(CloudServer):
         self._failures_remaining = failures
         self._fail_permanently = permanent
 
+    def schedule_stall(
+        self, seconds: float = 0.05, stalls: int = 1, forever: bool = False
+    ) -> None:
+        """Arm the member to sleep before serving its next ``stalls`` batches.
+
+        ``forever=True`` wedges the member instead (process backend only —
+        see the class docstring); ``seconds`` is ignored in that case.
+        """
+        self._stall_seconds = seconds
+        self._stalls_remaining = stalls
+        self._stall_forever = forever
+
     def process_batch(self, requests: Sequence[BatchRequest]) -> List[QueryResponse]:
+        if self._stalls_remaining > 0:
+            self._stalls_remaining -= 1
+            self.stalls_injected += 1
+            if self._stall_forever:
+                while True:  # wedged: the proxy's RPC deadline reaps us
+                    time.sleep(3600.0)
+            time.sleep(self._stall_seconds)
         if self.dead:
             self.failures_injected += 1
             raise MemberFailure(f"{self.name} is down")
