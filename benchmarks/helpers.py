@@ -10,13 +10,34 @@ numbers, since the substrate is a simulator rather than the authors' testbed.
 
 from __future__ import annotations
 
+import contextlib
 import random
-from typing import Optional
+from typing import Iterator, Optional
 
 from repro.cloud.server import CloudServer
 from repro.core.engine import NaivePartitionedEngine, QueryBinningEngine
 from repro.crypto.nondeterministic import NonDeterministicScheme
 from repro.data.partition import PartitionResult
+
+
+@contextlib.contextmanager
+def closing_cloud_stores(*engines) -> Iterator[None]:
+    """Close every engine's cloud stores (and fleet members) on exit.
+
+    Benchmarks that build ``storage_backend="sqlite"`` engines must not
+    leave temporary database files behind; memory-backed stores close as a
+    no-op, so wrapping unconditionally is always safe.
+    """
+    try:
+        yield
+    finally:
+        for engine in engines:
+            fleet = getattr(engine, "multi_cloud", None)
+            if fleet is not None:
+                fleet.close()
+            cloud = getattr(engine, "cloud", None)
+            if cloud is not None:
+                cloud.close()
 
 
 def build_qb_engine(
@@ -25,13 +46,14 @@ def build_qb_engine(
     seed: int = 11,
     scheme=None,
     force_layout: Optional[tuple] = None,
+    storage_backend: str = "memory",
 ) -> QueryBinningEngine:
     """A ready-to-query QB engine with a deterministic permutation."""
     engine = QueryBinningEngine(
         partition=partition,
         attribute=attribute,
         scheme=scheme or NonDeterministicScheme(),
-        cloud=CloudServer(),
+        cloud=CloudServer(storage_backend=storage_backend),
         rng=random.Random(seed),
         force_layout=force_layout,
     )

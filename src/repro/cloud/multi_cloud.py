@@ -530,6 +530,8 @@ class MultiCloud:
         member_retries: int = 1,
         member_backend: str = "thread",
         rpc_timeout: Optional[float] = None,
+        storage_backend: str = "memory",
+        storage_dir: Optional[str] = None,
     ):
         if count < 2:
             raise CloudError("a multi-cloud deployment needs at least 2 servers")
@@ -548,6 +550,11 @@ class MultiCloud:
         self._use_indexes = use_indexes
         self._use_encrypted_indexes = use_encrypted_indexes
         self._rpc_timeout = rpc_timeout
+        #: forwarded to every member (``"memory"`` or ``"sqlite"``); process
+        #: members build their backend worker-side, so the database file
+        #: lives in the worker process that serves it.
+        self._storage_backend = storage_backend
+        self._storage_dir = storage_dir
         self.member_backend = member_backend
         self.servers: List[CloudServer] = [
             self._new_member(index) for index in range(count)
@@ -578,6 +585,8 @@ class MultiCloud:
                 rpc_timeout=self._rpc_timeout,
                 use_indexes=self._use_indexes,
                 use_encrypted_indexes=self._use_encrypted_indexes,
+                storage_backend=self._storage_backend,
+                storage_dir=self._storage_dir,
             )
         make_server = self._server_factory or CloudServer
         return make_server(
@@ -585,6 +594,8 @@ class MultiCloud:
             network=self._network_factory(),
             use_indexes=self._use_indexes,
             use_encrypted_indexes=self._use_encrypted_indexes,
+            storage_backend=self._storage_backend,
+            storage_dir=self._storage_dir,
         )
 
     def __len__(self) -> int:

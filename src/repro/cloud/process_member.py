@@ -142,6 +142,10 @@ def _worker_main(connection, server_factory, server_kwargs) -> None:
             connection.send(("ok", result, delta))
         except Exception:
             break
+    try:
+        server.close()  # releases a disk-backed store's database file
+    except Exception:
+        pass
     connection.close()
 
 

@@ -50,8 +50,9 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.adversary.view import AdversarialView, ViewLog, ViewTemplate
-from repro.cloud.indexes import EncryptedTagIndex, HashIndex
+from repro.cloud.indexes import HashIndex
 from repro.cloud.network import NetworkModel
+from repro.cloud.storage import StorageBackend, make_storage_backend
 from repro.crypto.base import EncryptedRow, EncryptedSearchScheme, SearchToken
 from repro.data.relation import Relation, Row
 from repro.exceptions import CloudError
@@ -254,30 +255,52 @@ class CloudServer:
         network: Optional[NetworkModel] = None,
         use_indexes: bool = True,
         use_encrypted_indexes: bool = True,
+        storage_backend: object = "memory",
+        storage_dir: Optional[str] = None,
     ):
+        """``storage_backend`` selects where the encrypted stores live:
+        ``"memory"`` (the historical dict/list stores) or ``"sqlite"`` (a
+        per-member WAL-mode database file, placed under ``storage_dir`` or
+        the system temp dir, removed when the server is closed or
+        collected).  An already built
+        :class:`~repro.cloud.storage.StorageBackend` is also accepted."""
         self.name = name
         self.network = network or NetworkModel()
         self.use_indexes = use_indexes
         #: gates both the tag index and the bin-addressed store; turning it
         #: off forces the linear-scan reference path (benchmark baseline).
         self.use_encrypted_indexes = use_encrypted_indexes
+        #: the encrypted stores — rows, tag index, bin store, and the
+        #: rid → sensitive bin assignment slice migration reads — all live
+        #: behind this backend.
+        self.storage: StorageBackend = make_storage_backend(
+            storage_backend, member_name=name, directory=storage_dir
+        )
         self._non_sensitive: Optional[Relation] = None
         self._indexes: Dict[str, HashIndex] = {}
-        self._encrypted_rows: List[EncryptedRow] = []
         self._encrypted_rows_snapshot: Optional[Tuple[EncryptedRow, ...]] = None
         self._scheme: Optional[EncryptedSearchScheme] = None
-        self._tag_index: Optional[EncryptedTagIndex] = None
-        self._bin_store: Optional[Dict[int, List[EncryptedRow]]] = None
-        self._unassigned_sensitive: List[EncryptedRow] = []
-        #: rid → sensitive bin, retained for every scheme (not just the
-        #: bin-addressed store) so slice migration / re-replication can
-        #: extract and drop per-bin slices on any member.
-        self._bin_assignment: Dict[int, int] = {}
         self.view_log = ViewLog()
         self.stats = CloudStatistics()
         self._queries_issued = 0
         #: request → interned retrieval; dropped whenever stored data changes
         self._retrievals: Dict[BatchRequest, _Retrieval] = {}
+
+    # -- storage introspection (tests and the process-member worker read these) ----
+    @property
+    def _tag_index(self):
+        """The live tag index object (``None`` when the scheme has none)."""
+        return self.storage.tag_index
+
+    @property
+    def _bin_store(self) -> Optional[Dict[int, List[EncryptedRow]]]:
+        """The bin-addressed store as a dict view (``None`` when absent)."""
+        return self.storage.bin_store_view()
+
+    @property
+    def _bin_assignment(self) -> Dict[int, int]:
+        """The rid → sensitive-bin assignment as a dict view."""
+        return self.storage.bin_assignment_view()
 
     def _invalidate_retrievals(self) -> None:
         """Drop interned retrievals after any stored-data mutation."""
@@ -321,21 +344,23 @@ class CloudServer:
         relation.  The grouping reveals nothing new — bin membership is
         exactly what the adversary reconstructs from repeated retrievals.
         """
-        self._encrypted_rows = list(encrypted_rows)
+        encrypted_rows = list(encrypted_rows)
         self._encrypted_rows_snapshot = None
         self._scheme = scheme
-        self._tag_index = None
-        self._bin_store = None
-        self._unassigned_sensitive = []
-        self._bin_assignment = dict(bin_assignment) if bin_assignment else {}
         self._invalidate_retrievals()
-        if self.use_encrypted_indexes:
-            if scheme.supports_tag_index:
-                self._tag_index = EncryptedTagIndex(scheme)
-                self._tag_index.add_rows(self._encrypted_rows, 0)
-            elif bin_assignment is not None:
-                self._bin_store = {}
-                self._place_in_bins(self._encrypted_rows, bin_assignment)
+        self.storage.reset(
+            encrypted_rows,
+            scheme,
+            bin_assignment,
+            build_tag_index=(
+                self.use_encrypted_indexes and scheme.supports_tag_index
+            ),
+            build_bin_store=(
+                self.use_encrypted_indexes
+                and not scheme.supports_tag_index
+                and bin_assignment is not None
+            ),
+        )
         self.network.record(
             "upload", "outsource sensitive relation (encrypted)", len(encrypted_rows)
         )
@@ -371,31 +396,9 @@ class CloudServer:
         encrypted_rows: Sequence[EncryptedRow],
         bin_assignment: Optional[Mapping[int, int]],
     ) -> None:
-        start_position = len(self._encrypted_rows)
-        self._encrypted_rows.extend(encrypted_rows)
         self._encrypted_rows_snapshot = None
-        if bin_assignment:
-            self._bin_assignment.update(bin_assignment)
         self._invalidate_retrievals()
-        if self._tag_index is not None:
-            self._tag_index.add_rows(encrypted_rows, start_position)
-        if self._bin_store is not None:
-            self._place_in_bins(encrypted_rows, bin_assignment or {})
-
-    def _place_in_bins(
-        self,
-        encrypted_rows: Sequence[EncryptedRow],
-        bin_assignment: Mapping[int, int],
-    ) -> None:
-        assert self._bin_store is not None
-        for row in encrypted_rows:
-            bin_index = bin_assignment.get(row.rid)
-            if bin_index is None:
-                # Rows the owner did not place must stay visible to every bin
-                # retrieval, otherwise the sliced scan could miss matches.
-                self._unassigned_sensitive.append(row)
-            else:
-                self._bin_store.setdefault(bin_index, []).append(row)
+        self.storage.append(encrypted_rows, bin_assignment)
 
     def append_non_sensitive(self, rows: Iterable[Dict[str, object]]) -> int:
         """Receive additional cleartext rows (inserts); returns count added."""
@@ -442,11 +445,7 @@ class CloudServer:
 
     def stored_sensitive_bins(self) -> Dict[Optional[int], int]:
         """Stored row count per sensitive bin (``None`` = unassigned rows)."""
-        counts: Dict[Optional[int], int] = {}
-        for row in self._encrypted_rows:
-            bin_index = self._bin_assignment.get(row.rid)
-            counts[bin_index] = counts.get(bin_index, 0) + 1
-        return counts
+        return self.storage.bin_counts()
 
     def sensitive_slice(
         self, bins: Sequence[Optional[int]]
@@ -455,65 +454,38 @@ class CloudServer:
 
         Storage order within each bin is identical on every replica (pinned
         by the replicated-storage tests), so a slice read from *any* chain
-        member re-creates the bin bit-identically on its destination.
+        member re-creates the bin bit-identically on its destination.  Over
+        a SQLite backend this is one keyed ``SELECT`` against the bin index,
+        not a Python row loop.
         """
-        wanted = set(bins)
-        include_unassigned = None in wanted
-        rows: List[EncryptedRow] = []
-        assignment: Dict[int, int] = {}
-        for row in self._encrypted_rows:
-            bin_index = self._bin_assignment.get(row.rid)
-            if bin_index is None:
-                if include_unassigned:
-                    rows.append(row)
-            elif bin_index in wanted:
-                rows.append(row)
-                assignment[row.rid] = bin_index
+        rows, assignment = self.storage.slice_bins(bins)
         self.network.record(
-            "migration-out", f"read {len(wanted)} bin slices", len(rows)
+            "migration-out", f"read {len(set(bins))} bin slices", len(rows)
         )
         return rows, assignment
 
     def drop_sensitive_bins(self, bins: Sequence[Optional[int]]) -> int:
         """Remove the slices of ``bins`` this member no longer owns.
 
-        Rebuilds the derived structures (tag index, bin store) over the
-        surviving rows; index work counters carry over so observation
-        accounting never runs backwards.  Returns the number of rows dropped.
+        The backend maintains its derived structures (tag index, bin store)
+        over the surviving rows; index work counters carry over so
+        observation accounting never runs backwards.  Returns the number of
+        rows dropped.  Over a SQLite backend the whole drop is one keyed
+        ``DELETE`` transaction.
         """
-        wanted = set(bins)
-        include_unassigned = None in wanted
-        keep: List[EncryptedRow] = []
-        dropped = 0
-        for row in self._encrypted_rows:
-            bin_index = self._bin_assignment.get(row.rid)
-            if (bin_index is None and include_unassigned) or (
-                bin_index is not None and bin_index in wanted
-            ):
-                dropped += 1
-                self._bin_assignment.pop(row.rid, None)
-            else:
-                keep.append(row)
+        dropped = self.storage.drop_bins(bins)
         if not dropped:
             return 0
-        self._encrypted_rows = keep
         self._encrypted_rows_snapshot = None
         self._invalidate_retrievals()
-        if self._tag_index is not None:
-            assert self._scheme is not None
-            rebuilt = EncryptedTagIndex(self._scheme)
-            rebuilt.add_rows(self._encrypted_rows, 0)
-            rebuilt.probe_count = self._tag_index.probe_count
-            rebuilt.rows_examined = self._tag_index.rows_examined
-            self._tag_index = rebuilt
-        if self._bin_store is not None:
-            self._bin_store = {}
-            self._unassigned_sensitive = []
-            self._place_in_bins(self._encrypted_rows, self._bin_assignment)
         self.network.record(
-            "migration-drop", f"drop {len(wanted)} bin slices", dropped
+            "migration-drop", f"drop {len(set(bins))} bin slices", dropped
         )
         return dropped
+
+    def close(self) -> None:
+        """Release storage resources (a SQLite backend's database file)."""
+        self.storage.close()
 
     def ping(self, timeout: Optional[float] = None) -> str:
         """Liveness probe; an in-process server is alive by construction.
@@ -533,7 +505,7 @@ class CloudServer:
 
     @property
     def encrypted_row_count(self) -> int:
-        return len(self._encrypted_rows)
+        return self.storage.row_count()
 
     @property
     def scheme(self) -> Optional[EncryptedSearchScheme]:
@@ -544,7 +516,7 @@ class CloudServer:
     def stored_encrypted_rows(self) -> Tuple[EncryptedRow, ...]:
         """The encrypted relation in storage order (cached between mutations)."""
         if self._encrypted_rows_snapshot is None:
-            self._encrypted_rows_snapshot = tuple(self._encrypted_rows)
+            self._encrypted_rows_snapshot = tuple(self.storage.all_rows())
         return self._encrypted_rows_snapshot
 
     # -- query processing --------------------------------------------------------
@@ -572,16 +544,17 @@ class CloudServer:
         scheme = self._scheme
         if scheme is None:
             raise CloudError("no sensitive relation outsourced yet")
-        if self._tag_index is not None:
-            examined_before = self._tag_index.rows_examined
-            matches = scheme.indexed_search(self._tag_index, tokens)
-            return matches, self._tag_index.rows_examined - examined_before
-        if self._bin_store is not None and sensitive_bin_index is not None:
-            candidates = self._bin_store.get(sensitive_bin_index, [])
-            if self._unassigned_sensitive:
-                candidates = candidates + self._unassigned_sensitive
+        storage = self.storage
+        tag_index = storage.tag_index
+        if tag_index is not None:
+            examined_before = tag_index.rows_examined
+            matches = scheme.indexed_search(tag_index, tokens)
+            return matches, tag_index.rows_examined - examined_before
+        if storage.has_bin_store and sensitive_bin_index is not None:
+            candidates = storage.bin_candidates(sensitive_bin_index)
             return scheme.search(candidates, tokens), len(candidates)
-        return scheme.search(self._encrypted_rows, tokens), len(self._encrypted_rows)
+        rows = storage.all_rows()
+        return scheme.search(rows, tokens), len(rows)
 
     def _charge_cached_non_sensitive(self, attribute: str, count: int) -> None:
         """Replicate the counters a cache-served cleartext lookup skips."""

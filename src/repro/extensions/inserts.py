@@ -34,11 +34,18 @@ class InsertStatistics:
 
     existing_value_inserts: int = 0
     new_value_in_place: int = 0
+    #: new-value inserts that found no free slot and forced a full re-binning
+    #: (the insert itself still lands — the rebuilt layout includes it).
+    new_value_rebins: int = 0
     rebins_triggered: int = 0
 
     @property
     def total(self) -> int:
-        return self.existing_value_inserts + self.new_value_in_place
+        return (
+            self.existing_value_inserts
+            + self.new_value_in_place
+            + self.new_value_rebins
+        )
 
 
 class IncrementalInserter:
@@ -53,6 +60,25 @@ class IncrementalInserter:
         self.rebin_threshold = rebin_threshold
         self.stats = InsertStatistics()
         self._new_values_since_rebin = 0
+        #: the layout object the pending-insert counter was accumulated
+        #: against; a different object means the layout was rebuilt outside
+        #: this inserter (a fleet redeployment, another inserter's rebin),
+        #: which absorbed the pending new values.
+        self._counted_layout = engine.layout
+
+    def _sync_layout(self) -> None:
+        """Reset the pending counter after an external layout rebuild.
+
+        ``engine.setup()`` can run outside :meth:`rebin` — elastic-fleet
+        redeployments and direct re-outsourcing replace ``engine.layout``
+        wholesale.  The rebuilt layout has absorbed every value inserted so
+        far, so pending-insert accounting must restart from zero; carrying
+        the stale count forward would trigger the next re-binning early
+        (double-counting the values the external rebuild already placed).
+        """
+        if self.engine.layout is not self._counted_layout:
+            self._counted_layout = self.engine.layout
+            self._new_values_since_rebin = 0
 
     # -- public API ------------------------------------------------------------
     def insert(self, values: Dict[str, object], sensitive: bool) -> None:
@@ -63,6 +89,7 @@ class IncrementalInserter:
             raise ConfigurationError(
                 f"insert is missing the binned attribute {attribute!r}"
             )
+        self._sync_layout()
         layout = self.engine.layout
         assert layout is not None
 
@@ -88,7 +115,7 @@ class IncrementalInserter:
         # No capacity left: rebuild the layout from the current data and then
         # perform the insert (the rebuilt layout always has room).
         self.engine.insert(values, sensitive=sensitive)
-        self.stats.existing_value_inserts += 0  # counted below as part of rebin
+        self.stats.new_value_rebins += 1
         self.rebin()
 
     def rebin(self) -> None:
@@ -116,6 +143,7 @@ class IncrementalInserter:
         self.engine.setup()
         self.stats.rebins_triggered += 1
         self._new_values_since_rebin = 0
+        self._counted_layout = self.engine.layout
 
     # -- placement ---------------------------------------------------------------
     def _place_new_value(self, value: object, sensitive: bool) -> bool:

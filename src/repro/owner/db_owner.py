@@ -56,6 +56,8 @@ class DBOwner:
         shard_policy: str = "hash",
         shard_max_workers: Optional[int] = None,
         replication_factor: int = 1,
+        storage_backend: str = "memory",
+        storage_dir: Optional[str] = None,
     ):
         """``num_clouds`` (≥2) outsources every attribute to a sharded
         :class:`MultiCloud` fleet of that size in addition to the reference
@@ -70,7 +72,14 @@ class DBOwner:
         self.relation = relation
         self.policy = policy
         self.keystore = keystore or KeyStore()
-        self.cloud = cloud or CloudServer()
+        #: every cloud-side store this owner creates — the reference server,
+        #: per-attribute servers, fleet members — uses this storage engine
+        #: (``"memory"`` or ``"sqlite"``; see :mod:`repro.cloud.storage`).
+        self._storage_backend = storage_backend
+        self._storage_dir = storage_dir
+        self.cloud = cloud or CloudServer(
+            storage_backend=storage_backend, storage_dir=storage_dir
+        )
         self._scheme_factory = scheme_factory
         self._permutation_seed = permutation_seed
         self._num_clouds = num_clouds
@@ -112,7 +121,9 @@ class DBOwner:
         # tags, but separating the stores keeps the per-attribute adversarial
         # views and token spaces independent in the simulation.
         attribute_cloud = self.cloud if not self._engines else CloudServer(
-            name=f"{self.cloud.name}/{attribute}"
+            name=f"{self.cloud.name}/{attribute}",
+            storage_backend=self._storage_backend,
+            storage_dir=self._storage_dir,
         )
         # Each attribute likewise gets its own fleet: sharding is a function
         # of the attribute's bin layout, so fleets cannot be shared.  Members
@@ -123,6 +134,8 @@ class DBOwner:
                 self._num_clouds,
                 use_indexes=attribute_cloud.use_indexes,
                 use_encrypted_indexes=attribute_cloud.use_encrypted_indexes,
+                storage_backend=self._storage_backend,
+                storage_dir=self._storage_dir,
             )
             if self._num_clouds is not None
             else None

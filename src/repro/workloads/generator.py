@@ -16,14 +16,32 @@ and partitions it, returning a :class:`SyntheticDataset` ready to feed into a
 
 from __future__ import annotations
 
+import hashlib
 import random
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.data.partition import PartitionResult, SensitivityPolicy, partition_relation
 from repro.data.relation import Relation
 from repro.data.schema import Attribute, Schema
 from repro.exceptions import ConfigurationError
+
+
+def derive_stream_seed(seed: int, stream: str) -> int:
+    """An independent RNG seed for one named stream of a generation run.
+
+    Every optional knob of the generator (the insert stream today, future
+    interleavings) draws from its *own* ``random.Random`` seeded by this
+    derivation instead of sharing one generator.  Sharing is the classic
+    determinism bug: with a single ``random.Random(seed)`` feeding every
+    stream, merely *enabling* one knob shifts the shared generator's state
+    and silently reshuffles every other stream — the "same seed" dataset is
+    no longer the same.  Deriving per-stream seeds makes each stream a pure
+    function of ``(seed, stream name)``, so knobs compose without
+    perturbing each other.
+    """
+    digest = hashlib.sha256(f"{seed}:{stream}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
 
 
 @dataclass
@@ -35,6 +53,12 @@ class SyntheticDataset:
     attribute: str
     sensitive_counts: Dict[object, int]
     non_sensitive_counts: Dict[object, int]
+    #: optional insert workload rows (``insert_count`` knob): ``(values,
+    #: sensitive)`` pairs of brand-new attribute values, ready to feed an
+    #: :class:`~repro.extensions.inserts.IncrementalInserter`.  Generated
+    #: from an independently derived stream seed, so requesting inserts
+    #: never perturbs the base dataset for the same ``seed``.
+    insert_stream: List[Tuple[Dict[str, str], bool]] = field(default_factory=list)
 
     @property
     def total_tuples(self) -> int:
@@ -101,6 +125,7 @@ def generate_partitioned_dataset(
     seed: int = 7,
     attribute: str = "key",
     extra_attributes: Sequence[str] = ("payload",),
+    insert_count: int = 0,
 ) -> SyntheticDataset:
     """Generate a partitioned synthetic dataset.
 
@@ -121,12 +146,25 @@ def generate_partitioned_dataset(
         exponent and roughly ``num_values * tuples_per_value`` total tuples.
     seed:
         RNG seed; generation is fully deterministic for a given seed.
+    insert_count:
+        When positive, also generate that many brand-new values as an
+        insert workload (``dataset.insert_stream``), each row flagged
+        sensitive with probability ``sensitivity_fraction``.
+
+    Each stream of randomness draws from its own generator seeded by
+    :func:`derive_stream_seed`, so turning a knob on (e.g. ``insert_count``)
+    never reshuffles the base dataset produced for the same ``seed``.  The
+    value-shuffle stream keeps the historical direct ``Random(seed)``
+    seeding, pinning every dataset (and the traces derived from it) that
+    existing tests and committed benchmarks depend on.
     """
     if not 0.0 <= sensitivity_fraction <= 1.0:
         raise ConfigurationError("sensitivity_fraction must be in [0, 1]")
     if not 0.0 <= association_fraction <= 1.0:
         raise ConfigurationError("association_fraction must be in [0, 1]")
-    rng = random.Random(seed)
+    if insert_count < 0:
+        raise ConfigurationError("insert_count must be non-negative")
+    rng = random.Random(seed)  # the legacy value-shuffle stream (pinned)
 
     values = [f"v{index:06d}" for index in range(num_values)]
     rng.shuffle(values)
@@ -175,6 +213,17 @@ def generate_partitioned_dataset(
             relation.insert(make_row(value, "ns", index), sensitive=False, validate=False)
         non_sensitive_counts[value] = count
 
+    insert_stream: List[Tuple[Dict[str, str], bool]] = []
+    if insert_count:
+        insert_rng = random.Random(derive_stream_seed(seed, "inserts"))
+        for index in range(insert_count):
+            value = f"x{index:06d}"  # disjoint from the v* base values
+            sensitive = insert_rng.random() < sensitivity_fraction
+            insert_stream.append(
+                (make_row(value, "s" if sensitive else "ns", 0), sensitive)
+            )
+        insert_rng.shuffle(insert_stream)
+
     policy = SensitivityPolicy(use_row_flags=True)
     partition = partition_relation(relation, policy)
     return SyntheticDataset(
@@ -183,4 +232,5 @@ def generate_partitioned_dataset(
         attribute=attribute,
         sensitive_counts=sensitive_counts,
         non_sensitive_counts=non_sensitive_counts,
+        insert_stream=insert_stream,
     )

@@ -160,6 +160,7 @@ class ExecutionParityHarness:
         member_backend: str = "thread",
         member_retries: int = 1,
         rpc_timeout: Optional[float] = None,
+        storage_backend: str = "memory",
     ):
         self.dataset = dataset
         self.scheme_factory = scheme_factory
@@ -173,15 +174,22 @@ class ExecutionParityHarness:
         self.member_backend = member_backend
         self.member_retries = member_retries
         self.rpc_timeout = rpc_timeout
+        self.storage_backend = storage_backend
         self._fleets: List[MultiCloud] = []
+        self._servers: List[CloudServer] = []
 
     # -- construction --------------------------------------------------------
     def make_engine(self, sharded: bool = False) -> QueryBinningEngine:
+        reference = CloudServer(
+            use_encrypted_indexes=self.use_encrypted_indexes,
+            storage_backend=self.storage_backend,
+        )
+        self._servers.append(reference)
         engine = QueryBinningEngine(
             partition=self.dataset.partition,
             attribute=self.dataset.attribute,
             scheme=self.scheme_factory(SecretKey.from_passphrase(self.key_phrase)),
-            cloud=CloudServer(use_encrypted_indexes=self.use_encrypted_indexes),
+            cloud=reference,
             rng=random.Random(self.permutation_seed),
             multi_cloud=(
                 MultiCloud(
@@ -191,6 +199,7 @@ class ExecutionParityHarness:
                     member_backend=self.member_backend,
                     member_retries=self.member_retries,
                     rpc_timeout=self.rpc_timeout,
+                    storage_backend=self.storage_backend,
                 )
                 if sharded
                 else None
@@ -203,13 +212,15 @@ class ExecutionParityHarness:
         return engine.setup()
 
     def close(self) -> None:
-        """Reap worker processes of every fleet this harness built.
+        """Reap worker processes and storage of everything this harness built.
 
         Proxy mirrors stay readable after close, so assertions may still
         inspect a closed run's views and statistics.
         """
         for fleet in self._fleets:
             fleet.close()
+        for server in self._servers:
+            server.close()
 
     def workload(self, repeats: int = 2, seed: int = 41) -> List[object]:
         values = list(self.dataset.all_values) * repeats

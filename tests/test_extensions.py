@@ -234,3 +234,83 @@ class TestMultiAttribute:
         engine = MultiAttributeEngine(self._partition(), ["city"], permutation_seed=4).setup()
         with pytest.raises(QueryError):
             engine.conjunctive_query({})
+
+
+class TestInsertAccounting:
+    """Rebin-threshold accounting: every insert counts exactly once, and the
+    pending-value counter tracks the live layout, not a stale one."""
+
+    def test_total_counts_forced_rebins(self, small_dataset):
+        engine = make_engine(small_dataset.partition, small_dataset.attribute)
+        # a huge threshold isolates the no-capacity path: the only rebins
+        # that fire are forced by placement failure
+        inserter = IncrementalInserter(engine, rebin_threshold=10_000)
+        issued = 0
+        for i in range(60):
+            inserter.insert({"key": f"cram{i}", "payload": "p"}, sensitive=True)
+            issued += 1
+            if inserter.stats.new_value_rebins >= 2:
+                break
+        assert inserter.stats.new_value_rebins >= 1, "never exhausted capacity"
+        assert inserter.stats.total == issued
+        assert inserter.stats.rebins_triggered == inserter.stats.new_value_rebins
+        # every crammed value is still retrievable after the forced rebins
+        for i in range(issued):
+            assert len(engine.query(f"cram{i}")) == 1
+
+    def test_external_setup_resets_pending_counter(self, small_dataset):
+        engine = make_engine(small_dataset.partition, small_dataset.attribute)
+        inserter = IncrementalInserter(engine, rebin_threshold=3)
+        # sensitive inserts place in-bin on this dataset (no forced rebins),
+        # so the only rebin that could fire here is the threshold one
+        inserter.insert({"key": "pend0", "payload": "p"}, sensitive=True)
+        inserter.insert({"key": "pend1", "payload": "p"}, sensitive=True)
+        assert inserter.stats.new_value_in_place == 2
+        # an external redeployment rebuilds the layout outside the inserter
+        engine.cloud.reset_observations()
+        engine.setup()
+        # the rebuilt layout absorbed the pending values: the next two
+        # inserts must NOT trip the threshold carried over from before
+        inserter.insert({"key": "pend2", "payload": "p"}, sensitive=True)
+        inserter.insert({"key": "pend3", "payload": "p"}, sensitive=True)
+        assert inserter.stats.rebins_triggered == 0
+        # the third post-rebuild insert legitimately reaches the threshold
+        inserter.insert({"key": "pend4", "payload": "p"}, sensitive=True)
+        assert inserter.stats.rebins_triggered == 1
+        for i in range(5):
+            assert len(engine.query(f"pend{i}")) == 1
+
+    def test_insert_rebin_insert_across_placements(self, small_dataset):
+        """insert → rebin → insert on a sharded engine stays queryable under
+        every placement, with identical results."""
+        from repro.cloud.multi_cloud import MultiCloud
+
+        fleet = MultiCloud(3)
+        engine = QueryBinningEngine(
+            partition=small_dataset.partition,
+            attribute=small_dataset.attribute,
+            scheme=NonDeterministicScheme(),
+            cloud=CloudServer(),
+            rng=random.Random(5),
+            multi_cloud=fleet,
+        ).setup()
+        try:
+            inserter = IncrementalInserter(engine, rebin_threshold=1000)
+            inserter.insert({"key": "pre-rebin", "payload": "a"}, sensitive=True)
+            inserter.rebin()  # a full fleet redeployment
+            inserter.insert({"key": "post-rebin", "payload": "b"}, sensitive=False)
+            workload = ["pre-rebin", "post-rebin", small_dataset.all_values[0]]
+            results = {}
+            for placement in ("sequential", "batched", "sharded"):
+                outcome = engine.execute_workload_with_rows(
+                    workload, placement=placement
+                )
+                results[placement] = [
+                    sorted(row.rid for row in rows) for rows, _trace in outcome
+                ]
+                for rids in results[placement][:2]:
+                    assert len(rids) == 1
+            assert results["batched"] == results["sequential"]
+            assert results["sharded"] == results["sequential"]
+        finally:
+            fleet.close()

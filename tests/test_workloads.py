@@ -9,6 +9,7 @@ from repro.workloads.employee import (
     paper_example_queries,
 )
 from repro.workloads.generator import (
+    derive_stream_seed,
     generate_partitioned_dataset,
     uniform_counts,
     zipf_counts,
@@ -147,3 +148,47 @@ class TestQueryWorkloads:
 
     def test_exhaustive_workload_deduplicates(self):
         assert exhaustive_workload(["a", "b", "a", "c"]) == ["a", "b", "c"]
+
+
+class TestStreamSeeds:
+    """Per-stream seed derivation: knobs compose without perturbing each other."""
+
+    def test_derive_stream_seed_is_independent_per_stream_and_seed(self):
+        assert derive_stream_seed(7, "inserts") == derive_stream_seed(7, "inserts")
+        assert derive_stream_seed(7, "inserts") != derive_stream_seed(7, "other")
+        assert derive_stream_seed(7, "inserts") != derive_stream_seed(8, "inserts")
+
+    def test_insert_count_does_not_perturb_base_dataset(self):
+        """The determinism regression: enabling a knob must not reshuffle the
+        base dataset generated for the same seed."""
+        plain = generate_partitioned_dataset(num_values=20, seed=4)
+        with_inserts = generate_partitioned_dataset(
+            num_values=20, seed=4, insert_count=15
+        )
+        assert plain.sensitive_counts == with_inserts.sensitive_counts
+        assert plain.non_sensitive_counts == with_inserts.non_sensitive_counts
+        assert [
+            (row.rid, dict(row.values), row.sensitive) for row in plain.relation
+        ] == [
+            (row.rid, dict(row.values), row.sensitive)
+            for row in with_inserts.relation
+        ]
+
+    def test_insert_stream_is_deterministic_and_disjoint(self):
+        a = generate_partitioned_dataset(num_values=20, seed=4, insert_count=15)
+        b = generate_partitioned_dataset(num_values=20, seed=4, insert_count=15)
+        assert a.insert_stream == b.insert_stream
+        assert len(a.insert_stream) == 15
+        base_values = set(a.all_values)
+        for values, sensitive in a.insert_stream:
+            assert values[a.attribute] not in base_values
+            assert isinstance(sensitive, bool)
+        other_seed = generate_partitioned_dataset(
+            num_values=20, seed=5, insert_count=15
+        )
+        assert other_seed.insert_stream != a.insert_stream
+
+    def test_insert_stream_defaults_empty_and_validates(self):
+        assert generate_partitioned_dataset(num_values=10, seed=1).insert_stream == []
+        with pytest.raises(ConfigurationError):
+            generate_partitioned_dataset(num_values=10, seed=1, insert_count=-1)
