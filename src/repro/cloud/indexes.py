@@ -172,14 +172,23 @@ class EncryptedTagIndex:
         self.rows_examined = 0
 
     def add_rows(self, rows: Sequence["EncryptedRow"], start_position: int) -> None:
-        """Index ``rows`` stored at positions ``start_position, ...``."""
+        """Index ``rows`` stored at positions ``start_position, ...``.
+
+        Keys come from the scheme's batch hook
+        (:meth:`~repro.crypto.base.EncryptedSearchScheme.index_keys`), so
+        outsource ingest pays one batched key derivation instead of a
+        per-row call.
+        """
         buckets = self._buckets
-        for offset, row in enumerate(rows):
-            key = self._scheme.index_key(row)
-            if key is None:
-                continue
-            buckets[key].append((start_position + offset, row))
-            self._size += 1
+        keys = self._scheme.index_keys(rows)
+        position = start_position
+        size = 0
+        for key, row in zip(keys, rows):
+            if key is not None:
+                buckets[key].append((position, row))
+                size += 1
+            position += 1
+        self._size += size
 
     def probe(self, key: bytes) -> List[Tuple[int, "EncryptedRow"]]:
         """The (position, row) pairs stored under ``key`` (live, read-only)."""
@@ -189,6 +198,31 @@ class EncryptedTagIndex:
             return self._NO_ENTRIES
         self.rows_examined += len(bucket)
         return bucket
+
+    def probe_many(
+        self, keys: Sequence[bytes]
+    ) -> List[List[Tuple[int, "EncryptedRow"]]]:
+        """Batch :meth:`probe`: one bucket list per key, in key order.
+
+        Work-counter increments are exactly what the per-key loop would
+        charge (``probe_count`` per key, ``rows_examined`` per surfaced
+        row), so observation accounting cannot tell the paths apart.
+        """
+        buckets = self._buckets
+        no_entries = self._NO_ENTRIES
+        out: List[List[Tuple[int, "EncryptedRow"]]] = []
+        append = out.append
+        examined = 0
+        for key in keys:
+            bucket = buckets.get(key)
+            if bucket is None:
+                append(no_entries)
+            else:
+                examined += len(bucket)
+                append(bucket)
+        self.probe_count += len(keys)
+        self.rows_examined += examined
+        return out
 
     def distinct_count(self) -> int:
         return len(self._buckets)

@@ -1189,6 +1189,18 @@ class MultiCloud:
         """Sum one :class:`CloudStatistics` counter across the fleet."""
         return sum(getattr(server.stats, field_name) for server in self.servers)
 
+    def total_wire_bytes(self) -> int:
+        """Real transport bytes moved over process-member pipes, fleet-wide.
+
+        Zero for thread-backed fleets (no serialisation happens); for the
+        process backend this is the serialisation cost of the whole workload
+        since the last ``reset_observations`` — frame headers, pickled
+        requests/replies, and out-of-band buffers in both directions.
+        """
+        return sum(
+            getattr(server.network, "wire_bytes", 0) for server in self.servers
+        )
+
     def reset_observations(self) -> None:
         """Clear every member's views and counters (between experiments).
 

@@ -42,6 +42,16 @@ class NetworkModel:
     latency_seconds: float = 0.0005
     bytes_per_tuple: int = 200
     log: List[TransferLog] = field(default_factory=list)
+    #: Real (not simulated) transport bytes moved over a process-member
+    #: pipe on this model's behalf — frame headers, pickled payloads, and
+    #: out-of-band buffers, both directions.  Unlike the entries in ``log``
+    #: (a deterministic *cost model* of owner↔cloud traffic), this counter
+    #: measures what serialization actually shipped, so benchmarks can
+    #: report wire cost next to wall-clock.  Zero for in-process servers.
+    #: ``reset()`` clears it with the log; crash rollback
+    #: (``restore_observations``) deliberately leaves it alone — the bytes
+    #: crossed the pipe whether or not the batch survived.
+    wire_bytes: int = 0
 
     @property
     def seconds_per_tuple(self) -> float:
@@ -98,3 +108,4 @@ class NetworkModel:
 
     def reset(self) -> None:
         self.log.clear()
+        self.wire_bytes = 0

@@ -45,6 +45,23 @@ Design
   retry/failover path, and the proxy *abandons* the worker — kills it and
   marks itself closed — because a late reply could no longer be matched to
   its request without desynchronising the pipe protocol.
+* **Framed wire format.**  Messages cross the pipe as length-prefixed
+  frames (:class:`FrameChannel`) instead of ``Connection.send``'s implicit
+  pickling: the payload is pickled once with protocol 5 and a
+  ``buffer_callback``, so :class:`pickle.PickleBuffer`-backed values travel
+  out-of-band without an extra copy, and the receiver reads into a reusable
+  scratch buffer with ``recv_bytes_into`` instead of allocating a fresh
+  ``bytes`` per reply.  Large frames are chunked (``WIRE_CHUNK_BYTES``) so
+  a single huge pipe message never has to materialise on either side.  The
+  channel counts the real bytes it moves in both directions; the proxy
+  mirrors that total into ``network.wire_bytes`` so benchmarks can report
+  serialisation cost next to the simulated transfer model.
+* **Version handshake.**  The first thing a worker writes is a fixed-size
+  hello frame carrying the wire magic, wire-format version, and pickle
+  protocol.  The proxy validates it before the first RPC and fails loudly
+  (:class:`~repro.exceptions.ProcessMemberError`) on any mismatch, so a
+  mixed-version coordinator/worker pair can never exchange frames it would
+  silently misparse.
 
 The proxy raises :class:`~repro.exceptions.ProcessMemberError` when the
 worker protocol itself breaks outside a batch (a dead worker during
@@ -54,6 +71,8 @@ outsourcing is a deployment error, not a servable fault).
 from __future__ import annotations
 
 import multiprocessing
+import pickle
+import struct
 import weakref
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -72,6 +91,177 @@ from repro.data.relation import Row
 from repro.exceptions import MemberFailure, MemberTimeout, ProcessMemberError
 
 _SHUTDOWN = None  # sentinel message ending the worker loop
+
+# -- wire format ------------------------------------------------------------------
+#: Magic bytes opening the handshake frame ("Repro QB Wire").
+WIRE_MAGIC = b"RQBW"
+#: Version of the frame layout below.  Bump on any incompatible change.
+WIRE_VERSION = 1
+#: Pickle protocol frames are encoded with.  Protocol 5 adds out-of-band
+#: buffer support (:class:`pickle.PickleBuffer`), which is what lets large
+#: binary payloads skip the in-band copy.
+WIRE_PICKLE_PROTOCOL = pickle.HIGHEST_PROTOCOL
+#: Maximum bytes per pipe message.  Frames larger than this are split so
+#: neither side ever has to stage one huge OS-level write/read.
+WIRE_CHUNK_BYTES = 1 << 20
+#: How long the proxy waits for the worker's hello frame.  Deliberately
+#: independent of ``rpc_timeout`` — tests pin tiny RPC deadlines to provoke
+#: :class:`~repro.exceptions.MemberTimeout`, and process startup (fork +
+#: server construction) must not race those.
+HANDSHAKE_TIMEOUT = 10.0
+
+#: Frame header: total pickled-payload length, out-of-band buffer count.
+_FRAME_HEADER = struct.Struct("<QI")
+#: One per out-of-band buffer, appended to the frame header: buffer length.
+_BUFFER_LENGTH = struct.Struct("<Q")
+#: Handshake frame: magic, wire version, pickle protocol.
+_HELLO = struct.Struct("<4sHH")
+
+
+def _hello_blob() -> bytes:
+    return _HELLO.pack(WIRE_MAGIC, WIRE_VERSION, WIRE_PICKLE_PROTOCOL)
+
+
+def _check_hello(blob: bytes, peer: str) -> None:
+    """Validate a peer's hello frame; raise loudly on any mismatch."""
+    if len(blob) != _HELLO.size:
+        raise ProcessMemberError(
+            f"{peer}: malformed wire handshake ({len(blob)} bytes, "
+            f"expected {_HELLO.size})"
+        )
+    magic, version, protocol = _HELLO.unpack(blob)
+    if magic != WIRE_MAGIC:
+        raise ProcessMemberError(
+            f"{peer}: wire handshake magic mismatch "
+            f"(got {magic!r}, expected {WIRE_MAGIC!r})"
+        )
+    if version != WIRE_VERSION:
+        raise ProcessMemberError(
+            f"{peer}: wire format version mismatch (peer speaks v{version}, "
+            f"this coordinator speaks v{WIRE_VERSION}); refusing to exchange "
+            "frames with a mixed-version pair"
+        )
+    if protocol != WIRE_PICKLE_PROTOCOL:
+        raise ProcessMemberError(
+            f"{peer}: pickle protocol mismatch (peer uses protocol "
+            f"{protocol}, this coordinator uses {WIRE_PICKLE_PROTOCOL})"
+        )
+
+
+class FrameChannel:
+    """Length-prefixed, chunked pickle-5 framing over a multiprocessing pipe.
+
+    ``Connection.send`` pickles with the default protocol and always ships
+    one monolithic in-band blob.  This channel instead pickles once with
+    protocol 5 and a ``buffer_callback`` — values wrapped in
+    :class:`pickle.PickleBuffer` travel as separate out-of-band buffers with
+    no intermediate copy — and moves everything as explicit byte frames:
+
+    ``header | payload chunks | buffer chunks``
+
+    where the header packs the payload length, the out-of-band buffer count,
+    and each buffer's length.  Chunks are at most :data:`WIRE_CHUNK_BYTES`
+    each.  On receive, the payload lands in a reusable scratch
+    ``bytearray`` via ``recv_bytes_into`` (grown geometrically, never
+    shrunk), so steady-state RPC traffic allocates no per-reply payload
+    buffer; ``pickle.loads`` copies what it keeps, which is what makes
+    reusing the scratch safe.
+
+    ``bytes_sent`` / ``bytes_received`` count every transported byte
+    (headers included) and only ever grow — proxies baseline them to expose
+    per-epoch deltas as ``network.wire_bytes``.
+    """
+
+    def __init__(self, connection):
+        self._connection = connection
+        self._scratch = bytearray(WIRE_CHUNK_BYTES)
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    # -- handshake ----------------------------------------------------------------
+    def send_hello(self) -> None:
+        blob = _hello_blob()
+        self._connection.send_bytes(blob)
+        self.bytes_sent += len(blob)
+
+    def recv_hello(self, peer: str) -> None:
+        blob = self._connection.recv_bytes()
+        self.bytes_received += len(blob)
+        _check_hello(blob, peer)
+
+    # -- frames -------------------------------------------------------------------
+    def send_message(self, obj) -> None:
+        buffers: List[pickle.PickleBuffer] = []
+        payload = pickle.dumps(
+            obj, protocol=WIRE_PICKLE_PROTOCOL, buffer_callback=buffers.append
+        )
+        raws = [buffer.raw() for buffer in buffers]
+        header = bytearray(_FRAME_HEADER.pack(len(payload), len(raws)))
+        for raw in raws:
+            header += _BUFFER_LENGTH.pack(raw.nbytes)
+        send_bytes = self._connection.send_bytes
+        send_bytes(header)
+        sent = len(header)
+        with memoryview(payload) as view:
+            for offset in range(0, len(payload), WIRE_CHUNK_BYTES):
+                send_bytes(view[offset : offset + WIRE_CHUNK_BYTES])
+        sent += len(payload)
+        for raw in raws:
+            for offset in range(0, raw.nbytes, WIRE_CHUNK_BYTES):
+                send_bytes(raw[offset : offset + WIRE_CHUNK_BYTES])
+            sent += raw.nbytes
+            raw.release()
+        self.bytes_sent += sent
+
+    def _recv_exactly(self, buffer: bytearray, length: int) -> None:
+        recv_into = self._connection.recv_bytes_into
+        offset = 0
+        while offset < length:
+            offset += recv_into(buffer, offset)
+
+    def recv_message(self):
+        header = self._connection.recv_bytes()
+        if len(header) < _FRAME_HEADER.size:
+            raise ProcessMemberError(
+                f"malformed wire frame header ({len(header)} bytes)"
+            )
+        payload_length, buffer_count = _FRAME_HEADER.unpack_from(header, 0)
+        expected = _FRAME_HEADER.size + buffer_count * _BUFFER_LENGTH.size
+        if len(header) != expected:
+            raise ProcessMemberError(
+                f"malformed wire frame header ({len(header)} bytes for "
+                f"{buffer_count} buffers, expected {expected})"
+            )
+        scratch = self._scratch
+        if len(scratch) < payload_length:
+            self._scratch = scratch = bytearray(
+                max(payload_length, 2 * len(scratch))
+            )
+        self._recv_exactly(scratch, payload_length)
+        received = len(header) + payload_length
+        oob: List[bytearray] = []
+        for position in range(buffer_count):
+            (length,) = _BUFFER_LENGTH.unpack_from(
+                header, _FRAME_HEADER.size + position * _BUFFER_LENGTH.size
+            )
+            buffer = bytearray(length)
+            self._recv_exactly(buffer, length)
+            oob.append(buffer)
+            received += length
+        self.bytes_received += received
+        with memoryview(scratch) as view:
+            return pickle.loads(view[:payload_length], buffers=oob)
+
+    # -- plumbing -----------------------------------------------------------------
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        return self._connection.poll(timeout)
+
+    def close(self) -> None:
+        self._connection.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._connection.closed
 
 
 @dataclass
@@ -94,13 +284,25 @@ class ObservationDelta:
 
 def _worker_main(connection, server_factory, server_kwargs) -> None:
     """The member process: a command loop around one real server object."""
+    channel = FrameChannel(connection)
+    try:
+        # Hello goes out before the server is even constructed, so a
+        # mixed-version pair fails during proxy startup, not mid-workload.
+        channel.send_hello()
+    except Exception:
+        connection.close()
+        return
     server = (server_factory or CloudServer)(**server_kwargs)
     synced_views = 0
     synced_network = 0
     while True:
         try:
-            message = connection.recv()
+            message = channel.recv_message()
         except (EOFError, OSError):
+            break
+        except Exception:
+            # Undecodable frame: the stream can no longer be trusted to be
+            # aligned on frame boundaries, so stop serving.
             break
         if message is _SHUTDOWN or message is None:
             break
@@ -112,7 +314,7 @@ def _worker_main(connection, server_factory, server_kwargs) -> None:
                 result = getattr(server, method)(*args, **kwargs)
         except BaseException as error:  # ship the failure, keep serving
             try:
-                connection.send(("error", error))
+                channel.send_message(("error", error))
             except Exception:
                 break
             continue
@@ -139,7 +341,7 @@ def _worker_main(connection, server_factory, server_kwargs) -> None:
         synced_views = len(server.view_log)
         synced_network = len(server.network.log)
         try:
-            connection.send(("ok", result, delta))
+            channel.send_message(("ok", result, delta))
         except Exception:
             break
     try:
@@ -237,8 +439,41 @@ class ProcessMemberProxy:
         )
         self._process.start()
         worker_connection.close()
+        self._channel = FrameChannel(self._connection)
+        #: wire-byte total (both directions) at the last observation epoch;
+        #: ``network.wire_bytes`` mirrors the delta past this baseline.
+        self._wire_baseline = 0
         self._finalizer = weakref.finalize(
-            self, _shutdown_worker, self._connection, self._process
+            self, _shutdown_worker, self._channel, self._process
+        )
+        self._await_handshake()
+
+    def _await_handshake(self) -> None:
+        """Validate the worker's hello frame before the first RPC.
+
+        Any mismatch (or a worker that dies / stays silent) kills the worker
+        and raises :class:`~repro.exceptions.ProcessMemberError` — a
+        mixed-version coordinator/worker pair must fail at startup, never by
+        silently misparsing frames mid-workload.
+        """
+        try:
+            if not self._connection.poll(HANDSHAKE_TIMEOUT):
+                raise ProcessMemberError(
+                    f"{self.name}: no wire handshake from worker within "
+                    f"{HANDSHAKE_TIMEOUT:.0f}s"
+                )
+            self._channel.recv_hello(self.name)
+        except ProcessMemberError:
+            self._abandon_worker()
+            raise
+        except (EOFError, OSError) as error:
+            self._abandon_worker()
+            raise ProcessMemberError(
+                f"{self.name}: worker died before completing the wire "
+                f"handshake ({error!r})"
+            ) from error
+        self._wire_baseline = (
+            self._channel.bytes_sent + self._channel.bytes_received
         )
 
     # -- RPC plumbing -------------------------------------------------------------
@@ -255,7 +490,7 @@ class ProcessMemberProxy:
                 raise MemberFailure(f"{self.name}: member process is down")
             raise ProcessMemberError(f"{self.name}: member process is closed")
         try:
-            self._connection.send((method, args, kwargs))
+            self._channel.send_message((method, args, kwargs))
             if deadline is not None and not self._connection.poll(deadline):
                 # Wedged (or hopelessly slow) worker.  The pipe still holds
                 # our request, so any late reply could never be matched to a
@@ -266,7 +501,7 @@ class ProcessMemberProxy:
                     f"{self.name}: no reply to {method!r} within {deadline:.1f}s; "
                     "worker abandoned"
                 )
-            reply = self._connection.recv()
+            reply = self._channel.recv_message()
         except (EOFError, OSError, BrokenPipeError) as error:
             self._closed = True
             if method == "process_batch":
@@ -278,17 +513,31 @@ class ProcessMemberProxy:
             raise ProcessMemberError(
                 f"{self.name}: member process is unreachable ({error!r})"
             ) from error
+        # Bytes crossed the pipe whether the call succeeded or not.
+        self._sync_wire_bytes()
         if reply[0] == "error":
             raise reply[1]
         _status, result, delta = reply
         self._apply_delta(delta)
         return result
 
+    def _sync_wire_bytes(self) -> None:
+        """Mirror the channel's transported bytes into ``network.wire_bytes``.
+
+        The channel counters are monotonic; the mirror shows the delta since
+        the last observation epoch (``reset_observations`` re-baselines, and
+        crash rollback deliberately leaves the mirror alone — see
+        :class:`~repro.cloud.network.NetworkModel`).
+        """
+        self.network.wire_bytes = (
+            self._channel.bytes_sent + self._channel.bytes_received
+        ) - self._wire_baseline
+
     def _abandon_worker(self) -> None:
         """Kill a wedged worker immediately (no graceful shutdown attempt)."""
         self._closed = True
         self._finalizer.detach()
-        _shutdown_worker(self._connection, self._process, graceful=False)
+        _shutdown_worker(self._channel, self._process, graceful=False)
 
     def ping(self, timeout: Optional[float] = None) -> str:
         """Liveness probe: round-trip a no-op RPC under ``timeout`` seconds.
@@ -390,6 +639,11 @@ class ProcessMemberProxy:
             self.stats = CloudStatistics()
         self.view_log.clear()
         self.network.reset()
+        # New observation epoch: wire bytes mirrored from here on are the
+        # bytes moved *after* this reset.
+        self._wire_baseline = (
+            self._channel.bytes_sent + self._channel.bytes_received
+        )
 
     def observation_snapshot(self) -> ObservationSnapshot:
         """Snapshot the member's observations from the local mirrors.
@@ -444,7 +698,7 @@ class ProcessMemberProxy:
         return f"ProcessMemberProxy({self.name!r}, {state})"
 
 
-def _shutdown_worker(connection, process, graceful: bool = True) -> None:
+def _shutdown_worker(channel, process, graceful: bool = True) -> None:
     """Finalizer: ask the worker to exit, then make sure it did.
 
     Escalates SIGTERM → SIGKILL: a worker wedged in uninterruptible compute
@@ -455,7 +709,7 @@ def _shutdown_worker(connection, process, graceful: bool = True) -> None:
     """
     if graceful:
         try:
-            connection.send(_SHUTDOWN)
+            channel.send_message(_SHUTDOWN)
         except Exception:
             pass
         process.join(timeout=2.0)
@@ -468,6 +722,6 @@ def _shutdown_worker(connection, process, graceful: bool = True) -> None:
             kill()
         process.join(timeout=2.0)
     try:
-        connection.close()
+        channel.close()
     except Exception:
         pass

@@ -33,9 +33,11 @@ is built from exactly the (tag, rid) pairs the adversary already stores.
 from __future__ import annotations
 
 import abc
+import pickle
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.crypto.primitives import SecretKey, decrypt_many
 from repro.data.relation import Row
 from repro.exceptions import CryptoError
 
@@ -149,6 +151,41 @@ class EncryptedSearchScheme(abc.ABC):
     #: increments to the non-atomic ``+=``.
     concurrent_search_safe: bool = True
 
+    # -- batch execution contract -------------------------------------------
+    #
+    # The ``*_many`` hooks (``encrypt_rows`` batch bodies, ``search`` batch
+    # bodies, :meth:`decrypt_rows_many`, :meth:`index_keys`) amortise
+    # per-call crypto setup (HMAC key schedules, AES-GCM cipher objects,
+    # sub-key derivations) over whole row batches.  They are required to be
+    # *observably identical* to the scalar reference loops: same tags and
+    # tokens bit-for-bit for deterministic constructions, same match sets
+    # and error behaviour for all, same work-counter increments on every
+    # index they touch.  The parity suite pins this.
+
+    #: Batch-path master switch.  ``True`` routes vector-capable operations
+    #: through the ``*_many`` hooks; setting it ``False`` (per instance or
+    #: subclass) forces every operation through the scalar reference loops —
+    #: the parity tests and the benchmark's scalar baseline use exactly this
+    #: toggle, so both paths stay exercised forever.
+    use_batch: bool = True
+
+    #: True when the scheme ships vectorized ``*_many`` overrides; schemes
+    #: that leave it False keep working unchanged through the scalar
+    #: fallbacks (the perfsmoke tripwires only police vector-capable
+    #: schemes).
+    supports_batch: bool = False
+
+    #: How many times a batch hook ran (class-level zero; ``+=`` creates the
+    #: instance counter on first use).  Perfsmoke tripwires assert this is
+    #: positive after a workload so refactors cannot silently drop back to
+    #: the scalar path.
+    batch_calls: int = 0
+
+    #: How many times a vector-capable operation fell back to its scalar
+    #: reference loop (``use_batch = False`` or a base-class default).  Must
+    #: stay zero for vector-capable schemes on the hot path.
+    scalar_fallback_calls: int = 0
+
     @property
     @abc.abstractmethod
     def leakage(self) -> LeakageProfile:
@@ -190,6 +227,16 @@ class EncryptedSearchScheme(abc.ABC):
         """The index key a search token probes for, or ``None``."""
         return token.payload
 
+    def index_keys(self, rows: Sequence[EncryptedRow]) -> List[Optional[bytes]]:
+        """Batch :meth:`index_key` (tag-index ingest builds from this).
+
+        The default simply loops; schemes whose key derivation does real
+        crypto work may override with a vectorized pass.  Must stay
+        element-wise identical to the scalar hook.
+        """
+        index_key = self.index_key
+        return [index_key(row) for row in rows]
+
     def indexed_search(
         self, index: "EncryptedTagIndex", tokens: Sequence[SearchToken]
     ) -> List[EncryptedRow]:
@@ -200,24 +247,61 @@ class EncryptedSearchScheme(abc.ABC):
         token probes its key.  Schemes whose linear ``search`` has different
         multiplicity/order semantics (e.g. Arx's per-token probing) override
         this so the indexed and linear paths stay bit-identical.
+
+        Probes go through the index's batch entry point when it has one
+        (``probe_many``), which charges the same per-key ``probe_count`` /
+        ``rows_examined`` increments as a per-key loop would.
         """
+        token_index_key = self.token_index_key
+        keys = [key for key in map(token_index_key, tokens) if key is not None]
         matched: Dict[int, EncryptedRow] = {}
         update = matched.update  # bulk-insert each bucket (positions are unique)
-        for token in tokens:
-            key = self.token_index_key(token)
-            if key is not None:
+        probe_many = getattr(index, "probe_many", None)
+        if probe_many is not None:
+            for bucket in probe_many(keys):
+                update(bucket)
+        else:  # pragma: no cover - index without a batch probe surface
+            for key in keys:
                 update(index.probe(key))
         return [row for _position, row in sorted(matched.items())]
 
     # -- conveniences shared by all schemes ---------------------------------
     def decrypt_rows(self, encrypted: Iterable[EncryptedRow]) -> List[Row]:
         """Decrypt many rows, silently dropping padding (fake) tuples."""
-        plain: List[Row] = []
-        for item in encrypted:
-            if item.is_fake:
-                continue
-            plain.append(self.decrypt_row(item))
-        return plain
+        real = [item for item in encrypted if not item.is_fake]
+        if not real:
+            return []
+        return self.decrypt_rows_many(real)
+
+    def decrypt_rows_many(self, encrypted: Sequence[EncryptedRow]) -> List[Row]:
+        """Decrypt a batch of (non-fake) rows.
+
+        The base implementation is the scalar reference loop; schemes whose
+        payloads share one row key override it with a single
+        :func:`~repro.crypto.primitives.decrypt_many` pass (via
+        :meth:`_decrypt_row_payloads`).  Row order and raised errors are
+        identical either way.
+        """
+        self.scalar_fallback_calls += 1
+        decrypt_row = self.decrypt_row
+        return [decrypt_row(item) for item in encrypted]
+
+    def _decrypt_row_payloads(
+        self, row_key: SecretKey, encrypted: Sequence[EncryptedRow]
+    ) -> List[Row]:
+        """One-pass batch decryption of the standard pickled row payload.
+
+        Shared by every scheme that stores rows as
+        ``aead_encrypt(row_key, pickle({rid, values, sensitive}))`` — which
+        is all four built-in schemes — so their ``decrypt_rows_many``
+        overrides are one-liners.
+        """
+        payloads = decrypt_many(row_key, [item.ciphertext for item in encrypted])
+        loads = pickle.loads
+        return [
+            Row(rid=data["rid"], values=data["values"], sensitive=data["sensitive"])
+            for data in map(loads, payloads)
+        ]
 
     def make_fake_row(self, attribute: str, template: Row) -> EncryptedRow:
         """Create an indistinguishable padding tuple for bin equalisation.

@@ -24,7 +24,9 @@ from repro.crypto.primitives import (
     aead_decrypt,
     aead_encrypt,
     encode_value,
+    encrypt_many,
     prf,
+    prf_many,
 )
 from repro.data.relation import Row
 
@@ -46,6 +48,10 @@ class DeterministicScheme(EncryptedSearchScheme):
     #: payload) are exactly right.
     supports_tag_index = True
 
+    #: Batched tagging/encryption/decryption; tags stay bit-identical to the
+    #: scalar path (HMAC is deterministic) — the parity suite pins it.
+    supports_batch = True
+
     def __init__(self, key: SecretKey | None = None):
         self._key = key or SecretKey.generate()
         self._row_key = self._key.derive("row")
@@ -65,8 +71,37 @@ class DeterministicScheme(EncryptedSearchScheme):
     def _tag(self, attribute: str, value: object) -> bytes:
         return prf(self._tag_key.material, attribute.encode() + b"|" + encode_value(value))
 
+    def _tag_many(self, attribute: str, values: Sequence[object]) -> List[bytes]:
+        """Batch :meth:`_tag`: one HMAC key schedule for the whole batch."""
+        prefix = attribute.encode() + b"|"
+        return prf_many(
+            self._tag_key.material, [prefix + encode_value(value) for value in values]
+        )
+
     # -- owner side -----------------------------------------------------------
     def encrypt_rows(self, rows: Sequence[Row], attribute: str) -> List[EncryptedRow]:
+        if not self.use_batch:
+            self.scalar_fallback_calls += 1
+            return self._encrypt_rows_scalar(rows, attribute)
+        self.batch_calls += 1
+        rows = list(rows)
+        payloads = [
+            pickle.dumps(
+                {"rid": row.rid, "values": dict(row.values), "sensitive": row.sensitive}
+            )
+            for row in rows
+        ]
+        ciphertexts = encrypt_many(self._row_key, payloads)
+        tags = self._tag_many(attribute, [row[attribute] for row in rows])
+        return [
+            EncryptedRow(rid=row.rid, ciphertext=ciphertext, search_tag=tag)
+            for row, ciphertext, tag in zip(rows, ciphertexts, tags)
+        ]
+
+    def _encrypt_rows_scalar(
+        self, rows: Sequence[Row], attribute: str
+    ) -> List[EncryptedRow]:
+        """Scalar reference loop (parity baseline for the batch path)."""
         encrypted: List[EncryptedRow] = []
         for row in rows:
             payload = pickle.dumps(
@@ -84,13 +119,25 @@ class DeterministicScheme(EncryptedSearchScheme):
     def tokens_for_values(
         self, values: Sequence[object], attribute: str
     ) -> List[SearchToken]:
-        return [SearchToken(payload=self._tag(attribute, value)) for value in values]
+        if not self.use_batch:
+            self.scalar_fallback_calls += 1
+            return [SearchToken(payload=self._tag(attribute, value)) for value in values]
+        self.batch_calls += 1
+        return [
+            SearchToken(payload=tag) for tag in self._tag_many(attribute, values)
+        ]
 
     def decrypt_row(self, encrypted: EncryptedRow) -> Row:
         payload = pickle.loads(aead_decrypt(self._row_key, encrypted.ciphertext))
         return Row(
             rid=payload["rid"], values=payload["values"], sensitive=payload["sensitive"]
         )
+
+    def decrypt_rows_many(self, encrypted: Sequence[EncryptedRow]) -> List[Row]:
+        if not self.use_batch:
+            return super().decrypt_rows_many(encrypted)
+        self.batch_calls += 1
+        return self._decrypt_row_payloads(self._row_key, encrypted)
 
     # -- cloud side -------------------------------------------------------------
     def search(

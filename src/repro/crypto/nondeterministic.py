@@ -31,7 +31,9 @@ from repro.crypto.primitives import (
     aead_decrypt,
     aead_encrypt,
     encode_value,
+    encrypt_many,
     prf,
+    prf_many,
 )
 from repro.data.relation import Row
 from repro.exceptions import CryptoError
@@ -63,6 +65,9 @@ class NonDeterministicScheme(EncryptedSearchScheme):
     #: beyond the rids the adversary already observes as the access pattern).
     supports_tag_index = True
 
+    #: Batched row encryption/decryption and batched address blinding.
+    supports_batch = True
+
     def __init__(self, key: SecretKey | None = None):
         self._key = key or SecretKey.generate()
         self._row_key = self._key.derive("row")
@@ -85,6 +90,34 @@ class NonDeterministicScheme(EncryptedSearchScheme):
 
     # -- owner side -----------------------------------------------------------
     def encrypt_rows(self, rows: Sequence[Row], attribute: str) -> List[EncryptedRow]:
+        if not self.use_batch:
+            self.scalar_fallback_calls += 1
+            return self._encrypt_rows_scalar(rows, attribute)
+        self.batch_calls += 1
+        rows = list(rows)
+        payloads: List[bytes] = []
+        book = self._address_book[attribute]
+        for row in rows:
+            payloads.append(
+                pickle.dumps(
+                    {
+                        "rid": row.rid,
+                        "values": dict(row.values),
+                        "sensitive": row.sensitive,
+                    }
+                )
+            )
+            book[row[attribute]].append(row.rid)
+        ciphertexts = encrypt_many(self._row_key, payloads)
+        return [
+            EncryptedRow(rid=row.rid, ciphertext=ciphertext, search_tag=b"")
+            for row, ciphertext in zip(rows, ciphertexts)
+        ]
+
+    def _encrypt_rows_scalar(
+        self, rows: Sequence[Row], attribute: str
+    ) -> List[EncryptedRow]:
+        """Scalar reference loop (parity baseline for the batch path)."""
         encrypted: List[EncryptedRow] = []
         for row in rows:
             payload = pickle.dumps(
@@ -101,19 +134,36 @@ class NonDeterministicScheme(EncryptedSearchScheme):
         self, values: Sequence[object], attribute: str
     ) -> List[SearchToken]:
         """Resolve values to blinded address tokens using owner metadata."""
-        tokens: List[SearchToken] = []
         book = self._address_book.get(attribute, {})
-        for value in values:
-            for rid in book.get(value, []):
-                blinded = prf(self._addr_key.material, encode_value(rid))
-                tokens.append(SearchToken(payload=blinded, hint=rid))
-        return tokens
+        if not self.use_batch:
+            self.scalar_fallback_calls += 1
+            tokens: List[SearchToken] = []
+            for value in values:
+                for rid in book.get(value, []):
+                    blinded = prf(self._addr_key.material, encode_value(rid))
+                    tokens.append(SearchToken(payload=blinded, hint=rid))
+            return tokens
+        self.batch_calls += 1
+        rids = [rid for value in values for rid in book.get(value, [])]
+        blinded_many = prf_many(
+            self._addr_key.material, [encode_value(rid) for rid in rids]
+        )
+        return [
+            SearchToken(payload=blinded, hint=rid)
+            for blinded, rid in zip(blinded_many, rids)
+        ]
 
     def decrypt_row(self, encrypted: EncryptedRow) -> Row:
         payload = pickle.loads(aead_decrypt(self._row_key, encrypted.ciphertext))
         return Row(
             rid=payload["rid"], values=payload["values"], sensitive=payload["sensitive"]
         )
+
+    def decrypt_rows_many(self, encrypted: Sequence[EncryptedRow]) -> List[Row]:
+        if not self.use_batch:
+            return super().decrypt_rows_many(encrypted)
+        self.batch_calls += 1
+        return self._decrypt_row_payloads(self._row_key, encrypted)
 
     # -- cloud side -------------------------------------------------------------
     def index_key(self, row: EncryptedRow) -> bytes:

@@ -25,7 +25,10 @@ from repro.crypto.primitives import (
     aead_encrypt,
     constant_time_equals,
     encode_value,
+    encrypt_many,
+    hmac_template,
     prf,
+    prf_many,
     random_bytes,
 )
 from repro.data.relation import Row
@@ -46,6 +49,11 @@ class SSEScheme(EncryptedSearchScheme):
     #: requires recomputing the PRF per (row, token) pair.  Under QB the
     #: cloud's bin-addressed store confines that trial-testing to one bin.
     supports_tag_index = False
+
+    #: Batched tagging and — the part that matters — batched trial testing:
+    #: ``search`` runs a bin slice as one pass with per-token HMAC templates
+    #: instead of a fresh key schedule per (row, token) pair.
+    supports_batch = True
 
     def __init__(self, key: SecretKey | None = None):
         self._key = key or SecretKey.generate()
@@ -70,6 +78,53 @@ class SSEScheme(EncryptedSearchScheme):
 
     # -- owner side -------------------------------------------------------------
     def encrypt_rows(self, rows: Sequence[Row], attribute: str) -> List[EncryptedRow]:
+        if not self.use_batch:
+            self.scalar_fallback_calls += 1
+            return self._encrypt_rows_scalar(rows, attribute)
+        self.batch_calls += 1
+        rows = list(rows)
+        payloads = [
+            pickle.dumps(
+                {"rid": row.rid, "values": dict(row.values), "sensitive": row.sensitive}
+            )
+            for row in rows
+        ]
+        ciphertexts = encrypt_many(self._row_key, payloads)
+        # One value token per *distinct* value (hot-key batches repeat
+        # values), then one HMAC template per token: tagging a row costs a
+        # state copy over its nonce instead of two key schedules.
+        prefix = attribute.encode() + b"|"
+        distinct = {row[attribute]: None for row in rows}
+        value_tokens = prf_many(
+            self._token_key.material,
+            [prefix + encode_value(value) for value in distinct],
+        )
+        templates = {
+            value: hmac_template(token)
+            for value, token in zip(distinct, value_tokens)
+        }
+        nonces = random_bytes(NONCE_BYTES * len(rows))
+        encrypted: List[EncryptedRow] = []
+        append = encrypted.append
+        offset = 0
+        for row, ciphertext in zip(rows, ciphertexts):
+            nonce = nonces[offset : offset + NONCE_BYTES]
+            offset += NONCE_BYTES
+            mac = templates[row[attribute]].copy()
+            mac.update(nonce)
+            append(
+                EncryptedRow(
+                    rid=row.rid,
+                    ciphertext=ciphertext,
+                    search_tag=nonce + mac.digest(),
+                )
+            )
+        return encrypted
+
+    def _encrypt_rows_scalar(
+        self, rows: Sequence[Row], attribute: str
+    ) -> List[EncryptedRow]:
+        """Scalar reference loop (parity baseline for the batch path)."""
         encrypted: List[EncryptedRow] = []
         for row in rows:
             payload = pickle.dumps(
@@ -90,8 +145,20 @@ class SSEScheme(EncryptedSearchScheme):
     def tokens_for_values(
         self, values: Sequence[object], attribute: str
     ) -> List[SearchToken]:
+        if not self.use_batch:
+            self.scalar_fallback_calls += 1
+            return [
+                SearchToken(payload=self._value_token(attribute, value))
+                for value in values
+            ]
+        self.batch_calls += 1
+        prefix = attribute.encode() + b"|"
         return [
-            SearchToken(payload=self._value_token(attribute, value)) for value in values
+            SearchToken(payload=token)
+            for token in prf_many(
+                self._token_key.material,
+                [prefix + encode_value(value) for value in values],
+            )
         ]
 
     def decrypt_row(self, encrypted: EncryptedRow) -> Row:
@@ -99,6 +166,12 @@ class SSEScheme(EncryptedSearchScheme):
         return Row(
             rid=payload["rid"], values=payload["values"], sensitive=payload["sensitive"]
         )
+
+    def decrypt_rows_many(self, encrypted: Sequence[EncryptedRow]) -> List[Row]:
+        if not self.use_batch:
+            return super().decrypt_rows_many(encrypted)
+        self.batch_calls += 1
+        return self._decrypt_row_payloads(self._row_key, encrypted)
 
     # -- cloud side ----------------------------------------------------------------
     def search(
@@ -110,11 +183,42 @@ class SSEScheme(EncryptedSearchScheme):
         evaluation per (row, token) pair until a match — and the reason
         process-backed fleet members exist: under Query Binning each member
         trial-decrypts only its own bins' slices, and only separate
-        processes let those slices be tested in parallel.  The loop body
-        binds its globals locally and hoists the token payloads; with tags
-        of ``nonce || PRF(token, nonce)`` per row, that keeps the pure-Python
-        overhead per PRF evaluation minimal.
+        processes let those slices be tested in parallel.
+
+        The batch pass runs the whole bin slice in one sweep with one HMAC
+        template per token: each (row, token) trial costs a state copy plus
+        a digest over the 12-byte nonce instead of a fresh ``hmac.new`` key
+        schedule, while the matching semantics stay exactly the scalar
+        loop's — storage order, first matching token wins, same
+        ``CryptoError`` on a malformed tag.
         """
+        if not self.use_batch:
+            self.scalar_fallback_calls += 1
+            return self._search_scalar(stored, tokens)
+        self.batch_calls += 1
+        matches: List[EncryptedRow] = []
+        append = matches.append
+        equals = constant_time_equals
+        nonce_bytes = NONCE_BYTES
+        templates = [hmac_template(token.payload) for token in tokens]
+        for row in stored:
+            search_tag = row.search_tag
+            if len(search_tag) < nonce_bytes:
+                raise CryptoError("malformed SSE search tag")
+            nonce = search_tag[:nonce_bytes]
+            tag = search_tag[nonce_bytes:]
+            for template in templates:
+                mac = template.copy()
+                mac.update(nonce)
+                if equals(mac.digest(), tag):
+                    append(row)
+                    break
+        return matches
+
+    def _search_scalar(
+        self, stored: Sequence[EncryptedRow], tokens: Sequence[SearchToken]
+    ) -> List[EncryptedRow]:
+        """The per-pair ``hmac.new`` reference loop (parity baseline)."""
         matches: List[EncryptedRow] = []
         append = matches.append
         prf_local = prf

@@ -220,6 +220,25 @@ class DBOwner:
         for engine in self._engines.values():
             engine.insert(values, sensitive=sensitive)
 
+    def insert_many(self, rows: Sequence[Dict[str, object]]) -> None:
+        """Insert many rows with one batched call per outsourced attribute.
+
+        Classifies every row under the owner's policy, then forwards the
+        whole batch to each engine's
+        :meth:`~repro.core.engine.QueryBinningEngine.insert_many`, which
+        encrypts and ships the sensitive rows as one batch instead of one
+        RPC-and-cache-flush per row.  Stored state is identical to calling
+        :meth:`insert` per row, in order.
+        """
+        classified: List[Tuple[Dict[str, object], bool]] = []
+        for values in rows:
+            probe = Row(rid=-1, values=dict(values), sensitive=False)
+            sensitive = self.policy.is_sensitive_row(probe)
+            self.relation.insert(values, sensitive=sensitive, validate=False)
+            classified.append((values, sensitive))
+        for engine in self._engines.values():
+            engine.insert_many(classified)
+
     # -- security auditing ----------------------------------------------------------
     def audit(self, attribute: str, full_domain_queried: bool = False) -> SecurityReport:
         """Audit the cloud's recorded views for ``attribute``'s engine."""

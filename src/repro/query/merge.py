@@ -8,7 +8,7 @@ them back down to the original predicate before unioning.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.data.relation import Row, union_rows
 from repro.query.selection import SelectionQuery
@@ -17,6 +17,39 @@ from repro.query.selection import SelectionQuery
 def filter_rows(rows: Iterable[Row], query: SelectionQuery) -> List[Row]:
     """Keep only the rows that satisfy the original query predicate."""
     return [row for row in rows if row.get(query.attribute) == query.value]
+
+
+def group_rows_by_value(rows: Iterable[Row], attribute: str) -> Dict[object, List[Row]]:
+    """Index a bin's rows by attribute value, preserving bin order per value.
+
+    One grouping pass over a bin answers every later predicate against that
+    bin with a dict probe, replacing the per-query linear rescan
+    :func:`filter_rows` performs — the owner-side merge hot loop under
+    skewed workloads, where many queries land on the same (large) bin.
+    ``grouped.get(value, [])`` returns exactly what
+    ``filter_rows(rows, query)`` would, in the same order.
+    """
+    grouped: Dict[object, List[Row]] = {}
+    for row in rows:
+        # row.values.get == row.get (see Row.get); inlined because this loop
+        # touches every row of every bin the workload lands on
+        grouped.setdefault(row.values.get(attribute), []).append(row)
+    return grouped
+
+
+def merge_grouped(
+    query: SelectionQuery,
+    grouped_sensitive: Dict[object, List[Row]],
+    grouped_non_sensitive: Dict[object, List[Row]],
+) -> List[Row]:
+    """:func:`merge_results` over pre-grouped bins (see
+    :func:`group_rows_by_value`); observably identical, O(result) per query
+    instead of O(bin)."""
+    merged = union_rows(
+        grouped_sensitive.get(query.value, []),
+        grouped_non_sensitive.get(query.value, []),
+    )
+    return project_rows(merged, query.projection)
 
 
 def project_rows(rows: Iterable[Row], projection: Optional[Sequence[str]]) -> List[Row]:

@@ -18,7 +18,10 @@ from repro.workloads.employee import (
 )
 from repro.workloads.generator import (
     SyntheticDataset,
+    derive_stream_seed,
     generate_partitioned_dataset,
+    generate_query_stream,
+    interleave_operations,
     uniform_counts,
     zipf_counts,
 )
@@ -30,7 +33,10 @@ __all__ = [
     "build_employee_relation",
     "employee_partition",
     "SyntheticDataset",
+    "derive_stream_seed",
     "generate_partitioned_dataset",
+    "generate_query_stream",
+    "interleave_operations",
     "uniform_counts",
     "zipf_counts",
     "generate_lineitem",

@@ -116,6 +116,94 @@ def zipf_counts(
     return counts
 
 
+def generate_query_stream(
+    values: Sequence[object],
+    num_queries: int,
+    mix: str = "uniform",
+    zipf_exponent: float = 1.0,
+    hot_fraction: float = 0.1,
+    hot_weight: float = 0.9,
+    seed: int = 7,
+) -> List[object]:
+    """A deterministic stream of query values over ``values``.
+
+    Mixes
+    -----
+    ``"uniform"``
+        Every value equally likely — the base case the earlier benchmarks
+        measured.
+    ``"zipf"``
+        Value at rank *r* (in the order given) drawn with probability
+        ∝ ``(r + 1) ** -zipf_exponent`` — the skewed workload whose
+        frequency signal QB is designed to hide.
+    ``"hotkey"``
+        The first ``hot_fraction`` of the values receive ``hot_weight`` of
+        the probability mass collectively; the rest share the remainder.
+        Models a cache-friendly "working set" workload.
+
+    The stream is a pure function of ``(seed, mix)`` via
+    :func:`derive_stream_seed`, so switching mixes (or generating an insert
+    stream from the same seed) never reshuffles another stream.
+    """
+    if num_queries < 0:
+        raise ConfigurationError("num_queries must be non-negative")
+    if not values:
+        raise ConfigurationError("need at least one value to query")
+    if mix == "uniform":
+        weights = [1.0] * len(values)
+    elif mix == "zipf":
+        weights = [(rank + 1) ** -zipf_exponent for rank in range(len(values))]
+    elif mix == "hotkey":
+        if not 0.0 < hot_fraction <= 1.0:
+            raise ConfigurationError("hot_fraction must be in (0, 1]")
+        if not 0.0 <= hot_weight <= 1.0:
+            raise ConfigurationError("hot_weight must be in [0, 1]")
+        hot_count = max(1, int(len(values) * hot_fraction))
+        cold_count = len(values) - hot_count
+        if cold_count == 0:
+            weights = [1.0] * len(values)
+        else:
+            weights = [hot_weight / hot_count] * hot_count + [
+                (1.0 - hot_weight) / cold_count
+            ] * cold_count
+    else:
+        raise ConfigurationError(f"unknown query mix {mix!r}")
+    rng = random.Random(derive_stream_seed(seed, f"queries|{mix}"))
+    return rng.choices(list(values), weights=weights, k=num_queries)
+
+
+def interleave_operations(
+    queries: Sequence[object],
+    inserts: Sequence[object],
+    seed: int = 7,
+) -> List[Tuple[str, object]]:
+    """Merge a query stream and an insert stream into one operation stream.
+
+    Returns ``("query", item)`` / ``("insert", item)`` pairs.  The merge is
+    a weighted random shuffle that preserves each stream's internal order
+    (each next operation is drawn from the remaining streams proportionally
+    to how many operations they still hold), seeded independently via
+    :func:`derive_stream_seed` so the same ``seed`` always yields the same
+    interleaving regardless of how the two input streams were generated.
+    """
+    rng = random.Random(derive_stream_seed(seed, "interleave"))
+    merged: List[Tuple[str, object]] = []
+    query_index = 0
+    insert_index = 0
+    remaining_queries = len(queries)
+    remaining_inserts = len(inserts)
+    while remaining_queries or remaining_inserts:
+        if rng.randrange(remaining_queries + remaining_inserts) < remaining_queries:
+            merged.append(("query", queries[query_index]))
+            query_index += 1
+            remaining_queries -= 1
+        else:
+            merged.append(("insert", inserts[insert_index]))
+            insert_index += 1
+            remaining_inserts -= 1
+    return merged
+
+
 def generate_partitioned_dataset(
     num_values: int = 100,
     sensitivity_fraction: float = 0.2,

@@ -199,3 +199,48 @@ def test_observation_snapshot_is_constant_time_shape():
     assert all(isinstance(value, int) for value in snapshot.stats)
     flat = [count for _attr, count in snapshot.index_probe_counts]
     assert all(isinstance(value, int) for value in flat)
+
+
+VECTOR_SCHEMES = {
+    "deterministic": "repro.crypto.deterministic:DeterministicScheme",
+    "arx-index": "repro.crypto.arx_index:ArxIndexScheme",
+    "non-deterministic": "repro.crypto.nondeterministic:NonDeterministicScheme",
+    "sse": "repro.crypto.searchable:SSEScheme",
+}
+
+
+def _load_scheme(spec: str, key):
+    import importlib
+
+    module_name, _, class_name = spec.partition(":")
+    return getattr(importlib.import_module(module_name), class_name)(key)
+
+
+@pytest.mark.parametrize("scheme_name", sorted(VECTOR_SCHEMES))
+def test_vector_schemes_take_the_batch_path(scheme_name):
+    """Tripwire for the vectorization tentpole: a full setup + workload on a
+    vector-capable scheme must route every hot loop through the batch entry
+    points (``batch_calls``) and never fall back to the scalar reference
+    loops (``scalar_fallback_calls``).  A refactor that silently loses a
+    ``*_many`` override fails here, not in a minutes-long benchmark run."""
+    dataset = _dataset(num_values=120)
+    scheme = _load_scheme(
+        VECTOR_SCHEMES[scheme_name], SecretKey.from_passphrase("perfsmoke")
+    )
+    assert scheme.supports_batch
+    engine = _engine(dataset, scheme)
+    engine.execute_workload(_workload(dataset, repeats=1), placement="batched")
+    assert scheme.batch_calls > 0
+    assert scheme.scalar_fallback_calls == 0
+
+
+def test_forcing_scalar_mode_is_observable_in_the_counters():
+    """``use_batch=False`` (the parity baseline switch) really disables the
+    batch paths — guarding the other side of the tripwire above."""
+    dataset = _dataset(num_values=60)
+    scheme = DeterministicScheme(SecretKey.from_passphrase("perfsmoke"))
+    scheme.use_batch = False
+    engine = _engine(dataset, scheme)
+    engine.execute_workload(_workload(dataset, repeats=1), placement="batched")
+    assert scheme.batch_calls == 0
+    assert scheme.scalar_fallback_calls > 0

@@ -4,7 +4,13 @@ import pytest
 
 from repro.data.relation import Row
 from repro.exceptions import QueryError
-from repro.query.merge import filter_rows, merge_results, project_rows
+from repro.query.merge import (
+    filter_rows,
+    group_rows_by_value,
+    merge_grouped,
+    merge_results,
+    project_rows,
+)
 from repro.query.predicates import (
     And,
     Equals,
@@ -120,3 +126,25 @@ class TestMerge:
     def test_project_rows_none_is_identity(self):
         rows = [row(rid=1, id="a")]
         assert project_rows(rows, None) == rows
+
+    def test_grouping_matches_filter_rows_per_value(self):
+        rows = [
+            row(rid=1, id="a"), row(rid=2, id="b"), row(rid=3, id="a"),
+            row(rid=4, id="c"), row(rid=5, id="b"),
+        ]
+        grouped = group_rows_by_value(rows, "id")
+        for value in ("a", "b", "c", "missing"):
+            query = SelectionQuery("id", value)
+            assert grouped.get(value, []) == filter_rows(rows, query)
+
+    def test_merge_grouped_is_identical_to_merge_results(self):
+        sensitive = [row(rid=1, id="a"), row(rid=2, id="z"), row(rid=6, id="a")]
+        non_sensitive = [row(rid=3, id="a"), row(rid=1, id="a"), row(rid=4, id="b")]
+        grouped_s = group_rows_by_value(sensitive, "id")
+        grouped_ns = group_rows_by_value(non_sensitive, "id")
+        for value in ("a", "b", "z", "missing"):
+            for projection in (None, ("id",)):
+                query = SelectionQuery("id", value, projection=projection)
+                assert merge_grouped(query, grouped_s, grouped_ns) == (
+                    merge_results(query, sensitive, non_sensitive)
+                )

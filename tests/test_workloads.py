@@ -11,6 +11,8 @@ from repro.workloads.employee import (
 from repro.workloads.generator import (
     derive_stream_seed,
     generate_partitioned_dataset,
+    generate_query_stream,
+    interleave_operations,
     uniform_counts,
     zipf_counts,
 )
@@ -192,3 +194,77 @@ class TestStreamSeeds:
         assert generate_partitioned_dataset(num_values=10, seed=1).insert_stream == []
         with pytest.raises(ConfigurationError):
             generate_partitioned_dataset(num_values=10, seed=1, insert_count=-1)
+
+
+class TestQueryStreams:
+    VALUES = [f"v{i}" for i in range(50)]
+
+    def test_streams_are_deterministic_per_seed_and_mix(self):
+        for mix in ("uniform", "zipf", "hotkey"):
+            first = generate_query_stream(self.VALUES, 200, mix=mix, seed=5)
+            second = generate_query_stream(self.VALUES, 200, mix=mix, seed=5)
+            assert first == second
+        assert generate_query_stream(self.VALUES, 200, seed=5) != (
+            generate_query_stream(self.VALUES, 200, seed=6)
+        )
+
+    def test_mixes_draw_from_independent_streams(self):
+        """Different mixes use different derived seeds, so changing the mix
+        never replays another mix's value sequence."""
+        uniform = generate_query_stream(self.VALUES, 100, mix="uniform", seed=5)
+        zipf = generate_query_stream(self.VALUES, 100, mix="zipf", seed=5)
+        assert uniform != zipf
+
+    def test_zipf_mix_skews_towards_low_ranks(self):
+        stream = generate_query_stream(
+            self.VALUES, 5000, mix="zipf", zipf_exponent=1.2, seed=5
+        )
+        head = sum(1 for value in stream if value in set(self.VALUES[:5]))
+        tail = sum(1 for value in stream if value in set(self.VALUES[-5:]))
+        assert head > 4 * tail
+
+    def test_hotkey_mix_concentrates_on_the_working_set(self):
+        stream = generate_query_stream(
+            self.VALUES, 5000, mix="hotkey",
+            hot_fraction=0.1, hot_weight=0.9, seed=5,
+        )
+        hot = set(self.VALUES[:5])
+        hits = sum(1 for value in stream if value in hot)
+        assert 0.8 < hits / len(stream) < 1.0
+
+    def test_invalid_knobs_are_rejected(self):
+        with pytest.raises(ConfigurationError):
+            generate_query_stream(self.VALUES, 10, mix="unknown")
+        with pytest.raises(ConfigurationError):
+            generate_query_stream([], 10)
+        with pytest.raises(ConfigurationError):
+            generate_query_stream(self.VALUES, -1)
+        with pytest.raises(ConfigurationError):
+            generate_query_stream(self.VALUES, 10, mix="hotkey", hot_fraction=0.0)
+
+
+class TestInterleaving:
+    def test_merge_contains_every_operation_once(self):
+        queries = [f"q{i}" for i in range(30)]
+        inserts = [f"i{i}" for i in range(10)]
+        merged = interleave_operations(queries, inserts, seed=3)
+        assert len(merged) == 40
+        assert [item for kind, item in merged if kind == "query"] == queries
+        assert [item for kind, item in merged if kind == "insert"] == inserts
+
+    def test_merge_is_deterministic_and_actually_interleaves(self):
+        queries = list(range(50))
+        inserts = list(range(100, 120))
+        first = interleave_operations(queries, inserts, seed=3)
+        assert first == interleave_operations(queries, inserts, seed=3)
+        kinds = [kind for kind, _item in first]
+        # inserts land somewhere inside the query stream, not all at one end
+        first_insert = kinds.index("insert")
+        last_insert = len(kinds) - 1 - kinds[::-1].index("insert")
+        assert first_insert < len(kinds) - 1
+        assert last_insert - first_insert > len(inserts)
+
+    def test_empty_streams_are_fine(self):
+        assert interleave_operations([], [], seed=1) == []
+        assert interleave_operations(["q"], [], seed=1) == [("query", "q")]
+        assert interleave_operations([], ["i"], seed=1) == [("insert", "i")]
