@@ -1,0 +1,336 @@
+"""Service latency under open-loop load: p50/p95/p99 vs offered qps (PR 9).
+
+Characterizes the multi-tenant encrypted-search service the way an SLO
+would be written: many concurrent clients drive Poisson arrivals at a
+configured *offered* load against a running
+:class:`~repro.service.server.EncryptedSearchService` over real loopback
+TCP, and the benchmark reports the achieved throughput next to the latency
+distribution (p50/p95/p99) and the explicit-rejection count.
+
+Methodology notes, because each choice changes the numbers:
+
+* **Open loop, not closed loop.**  Each client draws seeded exponential
+  inter-arrival gaps and *pipelines* requests on schedule, whether or not
+  earlier responses have returned.  A closed-loop client (wait, then send)
+  self-throttles as the service saturates, silently hiding queueing delay —
+  the classic coordinated-omission trap.  Latency here is measured from the
+  *scheduled* arrival time, so a request that found the service busy pays
+  its queueing in the recorded number.
+* **Two tenants, isolated stores.**  Requests split across two provisioned
+  tenants; per-tenant engine locks mean tenant A's slow query never blocks
+  tenant B — the multi-tenant claim the layered locking is supposed to buy.
+* **Explicit overload.**  The admission queue is bounded; at offered loads
+  past capacity the service rejects instead of queueing without bound.
+  Rejected requests are counted separately and excluded from the latency
+  distribution (they complete in microseconds and would flatter the tail).
+
+Run directly to refresh the ``service_latency`` section of
+``BENCH_throughput.json``::
+
+    PYTHONPATH=src python benchmarks/bench_service_latency.py
+
+The scaled-down acceptance check rides the ``slowperf`` marker::
+
+    PYTHONPATH=src python -m pytest -m slowperf -q benchmarks/bench_service_latency.py
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+if __package__ in (None, ""):  # direct script execution: mirror conftest.py
+    _ROOT = Path(__file__).resolve().parent.parent
+    for _path in (str(_ROOT), str(_ROOT / "src")):
+        if _path not in sys.path:
+            sys.path.insert(0, _path)
+
+import pytest
+
+from repro.data.partition import SensitivityPolicy
+from repro.exceptions import ServiceOverloadedError
+from repro.service import EncryptedSearchService, ServiceClient, TenantRegistry
+from repro.workloads.generator import generate_partitioned_dataset
+
+from benchmarks.helpers import print_table
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_throughput.json"
+
+TENANT_NAMES = ("tenant-a", "tenant-b")
+
+#: load levels: (clients, offered qps across all clients, total requests).
+#: The low level sits well under capacity (pure service time), the high
+#: level adds queueing, and the surge level is deliberately past the
+#: admission queue's capacity so the rejection path shows up in the table.
+DEFAULT_LEVELS: Tuple[Tuple[int, float, int], ...] = (
+    (2, 50.0, 300),
+    (8, 200.0, 800),
+    (16, 2000.0, 1200),
+)
+DEFAULT_NUM_VALUES = 150
+DEFAULT_TUPLES_PER_VALUE = 4
+DEFAULT_NUM_WORKERS = 4
+DEFAULT_QUEUE_DEPTH = 64
+
+
+def build_service(
+    num_values: int = DEFAULT_NUM_VALUES,
+    tuples_per_value: int = DEFAULT_TUPLES_PER_VALUE,
+    num_workers: int = DEFAULT_NUM_WORKERS,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+) -> Tuple[EncryptedSearchService, Dict[str, List[object]]]:
+    """A running service with two fully-isolated tenants; returns it plus
+    each tenant's queryable value pool."""
+    registry = TenantRegistry()
+    values_by_tenant: Dict[str, List[object]] = {}
+    for index, name in enumerate(TENANT_NAMES):
+        dataset = generate_partitioned_dataset(
+            num_values=num_values,
+            sensitivity_fraction=0.5,
+            association_fraction=0.6,
+            tuples_per_value=tuples_per_value,
+            skew_exponent=1.1,
+            seed=23 + index,  # distinct data per tenant
+        )
+        registry.provision(
+            name,
+            dataset.relation,
+            SensitivityPolicy(use_row_flags=True),
+            attributes=(dataset.attribute,),
+            permutation_seed=17,
+        )
+        values_by_tenant[name] = list(dataset.all_values)
+    service = EncryptedSearchService(
+        registry, num_workers=num_workers, queue_depth=queue_depth
+    ).start()
+    return service, values_by_tenant
+
+
+def _percentile(sorted_values: Sequence[float], fraction: float) -> float:
+    if not sorted_values:
+        return float("nan")
+    index = min(len(sorted_values) - 1, int(fraction * len(sorted_values)))
+    return sorted_values[index]
+
+
+def run_level(
+    service: EncryptedSearchService,
+    values_by_tenant: Dict[str, List[object]],
+    clients: int,
+    offered_qps: float,
+    total_requests: int,
+    seed: int = 101,
+) -> Dict[str, object]:
+    """Drive one open-loop level and reduce it to the reported row."""
+    host, port = service.address
+    per_client = [total_requests // clients] * clients
+    for index in range(total_requests % clients):
+        per_client[index] += 1
+    client_rate = offered_qps / clients
+    attribute_by_tenant = {
+        name: service.registry.get(name).owner.searchable_attributes()[0]
+        for name in values_by_tenant
+    }
+    latencies_ms: List[float] = []
+    rejected = 0
+    errored = 0
+    results_lock = threading.Lock()
+    start_barrier = threading.Barrier(clients)
+    wall: List[float] = []
+
+    def client_loop(client_index: int) -> None:
+        nonlocal rejected, errored
+        rng = random.Random(seed * 1000 + client_index)
+        tenants = list(values_by_tenant)
+        client = ServiceClient(host, port)
+        pending: List[Tuple[float, object]] = []
+        # completion instants, stamped by the client's receiver thread the
+        # moment each response resolves — NOT when this thread gets around
+        # to collecting the future, which may be long after
+        completed_at: Dict[int, float] = {}
+
+        def stamp(index: int):
+            def callback(_future) -> None:
+                completed_at[index] = time.perf_counter()
+
+            return callback
+
+        try:
+            start_barrier.wait()
+            origin = time.perf_counter()
+            scheduled = 0.0
+            for _ in range(per_client[client_index]):
+                scheduled += rng.expovariate(client_rate)
+                # open loop: sleep until the *scheduled* arrival, then
+                # pipeline the request regardless of what's still in flight
+                delay = origin + scheduled - time.perf_counter()
+                if delay > 0:
+                    time.sleep(delay)
+                tenant = tenants[rng.randrange(len(tenants))]
+                value = rng.choice(values_by_tenant[tenant])
+                future = client.submit(
+                    tenant, "query", (attribute_by_tenant[tenant], value)
+                )
+                future.add_done_callback(stamp(len(pending)))
+                # latency clock starts at the scheduled arrival: queueing
+                # delay caused by saturation stays in the measurement
+                pending.append((origin + scheduled, future))
+            local_latencies, local_rejected, local_errored = [], 0, 0
+            last_completion = origin
+            for index, (sent_at, future) in enumerate(pending):
+                try:
+                    future.result(timeout=120.0)
+                    finished = completed_at.get(index, time.perf_counter())
+                    local_latencies.append((finished - sent_at) * 1000.0)
+                    last_completion = max(last_completion, finished)
+                except ServiceOverloadedError:
+                    local_rejected += 1
+                except Exception:
+                    local_errored += 1
+            elapsed = last_completion - origin
+        finally:
+            client.close()
+        with results_lock:
+            latencies_ms.extend(local_latencies)
+            rejected += local_rejected
+            errored += local_errored
+            wall.append(elapsed)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+
+    # a response's latency includes delivery, so the completion wall clock
+    # (slowest client) is the honest denominator for achieved throughput
+    elapsed = max(wall) if wall else float("nan")
+    latencies_ms.sort()
+    return {
+        "clients": clients,
+        "offered_qps": offered_qps,
+        "requests": total_requests,
+        "served": len(latencies_ms),
+        "rejected": rejected,
+        "errors": errored,
+        "achieved_qps": (len(latencies_ms) / elapsed) if elapsed else 0.0,
+        "p50_ms": _percentile(latencies_ms, 0.50),
+        "p95_ms": _percentile(latencies_ms, 0.95),
+        "p99_ms": _percentile(latencies_ms, 0.99),
+        "max_ms": latencies_ms[-1] if latencies_ms else float("nan"),
+    }
+
+
+def run_suite(
+    levels: Sequence[Tuple[int, float, int]] = DEFAULT_LEVELS,
+    num_values: int = DEFAULT_NUM_VALUES,
+    tuples_per_value: int = DEFAULT_TUPLES_PER_VALUE,
+    num_workers: int = DEFAULT_NUM_WORKERS,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    out_path: Optional[Path] = OUTPUT_PATH,
+) -> Dict[str, object]:
+    """Sweep the load levels on one service; fold into the trajectory."""
+    service, values_by_tenant = build_service(
+        num_values=num_values,
+        tuples_per_value=tuples_per_value,
+        num_workers=num_workers,
+        queue_depth=queue_depth,
+    )
+    try:
+        rows = [
+            run_level(service, values_by_tenant, clients, offered_qps, requests)
+            for clients, offered_qps, requests in levels
+        ]
+    finally:
+        service.stop()
+    section = {
+        "description": (
+            "open-loop Poisson load against the multi-tenant service over "
+            "loopback TCP; latency from scheduled arrival (coordinated "
+            "omission avoided); rejected = explicit admission-queue "
+            "overload signals, excluded from the latency distribution"
+        ),
+        "tenants": len(TENANT_NAMES),
+        "num_workers": num_workers,
+        "queue_depth": queue_depth,
+        "dataset": {
+            "num_values": num_values,
+            "tuples_per_value": tuples_per_value,
+        },
+        "levels": rows,
+    }
+    if out_path is not None:
+        trajectory = json.loads(out_path.read_text()) if out_path.exists() else {}
+        trajectory["service_latency"] = section
+        out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return section
+
+
+# -- acceptance ------------------------------------------------------------------
+
+
+@pytest.mark.perf
+@pytest.mark.slowperf
+def test_service_meets_latency_slos():
+    """The full-size sweep behaves like a service, not a batch job:
+
+    * under-capacity levels serve everything they admit (no errors) and
+      achieve at least half the offered load;
+    * tail ordering is sane (p50 ≤ p95 ≤ p99) at every level;
+    * the surge level honors the backpressure contract: the service either
+      keeps up with the offered load or sheds it *explicitly* through
+      admission control — and the requests it did admit still completed.
+    """
+    section = run_suite(out_path=OUTPUT_PATH)
+    levels = section["levels"]
+    assert len(levels) >= 2
+    for row in levels:
+        assert row["errors"] == 0, row
+        assert row["served"] + row["rejected"] == row["requests"], row
+        if row["served"]:
+            assert row["p50_ms"] <= row["p95_ms"] <= row["p99_ms"], row
+    undersaturated = levels[0]
+    assert undersaturated["rejected"] == 0, undersaturated
+    assert undersaturated["achieved_qps"] >= undersaturated["offered_qps"] * 0.5
+    surge = levels[-1]
+    kept_up = surge["achieved_qps"] >= surge["offered_qps"] * 0.8
+    assert surge["rejected"] > 0 or kept_up, (
+        "surge neither kept up nor shed load explicitly — requests queued "
+        f"without bound instead: {surge}"
+    )
+    assert surge["served"] > 0, "admission control starved the surge entirely"
+
+
+def main() -> None:
+    section = run_suite()
+    print_table(
+        "service latency under open-loop load",
+        ["clients", "offered qps", "achieved qps", "served", "rejected",
+         "p50 ms", "p95 ms", "p99 ms"],
+        [
+            [
+                row["clients"],
+                f"{row['offered_qps']:.0f}",
+                f"{row['achieved_qps']:.1f}",
+                row["served"],
+                row["rejected"],
+                f"{row['p50_ms']:.2f}",
+                f"{row['p95_ms']:.2f}",
+                f"{row['p99_ms']:.2f}",
+            ]
+            for row in section["levels"]
+        ],
+    )
+    print(f"\ntrajectory updated at {OUTPUT_PATH}")
+
+
+if __name__ == "__main__":
+    main()

@@ -36,6 +36,7 @@ violation raises instead of silently installing an unsafe ring.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
 from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
 
@@ -122,6 +123,10 @@ class FleetLifecycleManager:
         self._on_router_change = on_router_change
         #: migration reports in transition order (operational audit trail)
         self.history: List[MigrationReport] = []
+        #: one membership transition (or probe sweep) at a time: health
+        #: checks and migrations read-modify-write the fleet's exclusion
+        #: sets and the installed router, which must change atomically.
+        self._lock = threading.RLock()
 
     # -- health ---------------------------------------------------------------------
     def _is_open(self, index: int) -> bool:
@@ -139,17 +144,18 @@ class FleetLifecycleManager:
         decision (:meth:`~repro.cloud.multi_cloud.MultiCloud.mark_recovered`
         or :meth:`replace_member`).
         """
-        health: Dict[int, bool] = {}
-        for index in sorted(self.fleet.live_members):
-            try:
-                self.fleet.servers[index].ping(timeout=self.probe_timeout)
-            except CloudError as error:
-                health[index] = False
-                self.fleet.failed_members.add(index)
-                self.fleet._member_errors.setdefault(index, error)
-            else:
-                health[index] = True
-        return health
+        with self._lock:
+            health: Dict[int, bool] = {}
+            for index in sorted(self.fleet.live_members):
+                try:
+                    self.fleet.servers[index].ping(timeout=self.probe_timeout)
+                except CloudError as error:
+                    health[index] = False
+                    self.fleet.failed_members.add(index)
+                    self.fleet._member_errors.setdefault(index, error)
+                else:
+                    health[index] = True
+            return health
 
     def confirm_loss(self, index: int) -> None:
         """Declare member ``index`` permanently lost (no data movement yet).
@@ -159,7 +165,8 @@ class FleetLifecycleManager:
         Follow with :meth:`restore_redundancy` to rebuild the redundancy the
         loss cost; or repair the slot with :meth:`replace_member` instead.
         """
-        self.fleet.remove_member(index)
+        with self._lock:
+            self.fleet.remove_member(index)
 
     # -- invariants -----------------------------------------------------------------
     def _participants(self) -> List[int]:
@@ -183,13 +190,14 @@ class FleetLifecycleManager:
         lower counts measure eroded redundancy, higher counts indicate a
         migration that has not dropped moved-away slices yet.
         """
-        counts: Dict[Optional[int], int] = {}
-        for index in self._participants():
-            if index in self.fleet.failed_members:
-                continue
-            for bin_index in self.fleet.servers[index].stored_sensitive_bins():
-                counts[bin_index] = counts.get(bin_index, 0) + 1
-        return counts
+        with self._lock:
+            counts: Dict[Optional[int], int] = {}
+            for index in self._participants():
+                if index in self.fleet.failed_members:
+                    continue
+                for bin_index in self.fleet.servers[index].stored_sensitive_bins():
+                    counts[bin_index] = counts.get(bin_index, 0) + 1
+            return counts
 
     def prove_non_collusion(self, router: Optional[ShardRouter] = None) -> int:
         """Prove the routing non-collusion invariant over every bin pair.
@@ -415,18 +423,19 @@ class FleetLifecycleManager:
         routing membership shrinks to the survivors, and the new router is
         installed once storage (and the non-collusion proof) matches it.
         """
-        fleet = self.fleet
-        losses = [
-            index
-            for index in sorted(fleet.live_members)
-            if index in fleet.failed_members or not self._is_open(index)
-        ]
-        for index in losses:
-            fleet.remove_member(index)
-        router = self.router.with_membership(sorted(fleet.live_members))
-        report = self._migrate_to(router)
-        self._install(router)
-        return report
+        with self._lock:
+            fleet = self.fleet
+            losses = [
+                index
+                for index in sorted(fleet.live_members)
+                if index in fleet.failed_members or not self._is_open(index)
+            ]
+            for index in losses:
+                fleet.remove_member(index)
+            router = self.router.with_membership(sorted(fleet.live_members))
+            report = self._migrate_to(router)
+            self._install(router)
+            return report
 
     def add_member(self) -> Tuple[int, MigrationReport]:
         """Join a fresh member and rebalance bin slices onto it.
@@ -436,15 +445,16 @@ class FleetLifecycleManager:
         holders), members whose chains shrank drop the moved slices, and the
         grown router is installed.  Returns ``(new slot, migration)``.
         """
-        fleet = self.fleet
-        index = fleet.add_member()
-        self._initialise_member(index)
-        router = self.router.rebalanced(
-            len(fleet), live_members=sorted(fleet.live_members)
-        )
-        report = self._migrate_to(router, populating=frozenset({index}))
-        self._install(router)
-        return index, report
+        with self._lock:
+            fleet = self.fleet
+            index = fleet.add_member()
+            self._initialise_member(index)
+            router = self.router.rebalanced(
+                len(fleet), live_members=sorted(fleet.live_members)
+            )
+            report = self._migrate_to(router, populating=frozenset({index}))
+            self._install(router)
+            return index, report
 
     def remove_member(self, index: int) -> MigrationReport:
         """Gracefully retire member ``index``, migrating its slices away first.
@@ -454,16 +464,19 @@ class FleetLifecycleManager:
         Use :meth:`confirm_loss` + :meth:`restore_redundancy` for members
         that are already gone.
         """
-        fleet = self.fleet
-        if index in fleet.departed_members:
-            raise CloudError(f"member {index} has already departed the fleet")
-        router = self.router.with_membership(
-            sorted(fleet.live_members - {index})
-        )
-        report = self._migrate_to(router, departing=frozenset({index}))
-        fleet.remove_member(index)
-        self._install(router)
-        return report
+        with self._lock:
+            fleet = self.fleet
+            if index in fleet.departed_members:
+                raise CloudError(
+                    f"member {index} has already departed the fleet"
+                )
+            router = self.router.with_membership(
+                sorted(fleet.live_members - {index})
+            )
+            report = self._migrate_to(router, departing=frozenset({index}))
+            fleet.remove_member(index)
+            self._install(router)
+            return report
 
     def replace_member(self, index: int) -> MigrationReport:
         """Swap a fresh member into slot ``index`` and restore its slices.
@@ -473,11 +486,12 @@ class FleetLifecycleManager:
         slice the slot's chains assign it is copied from surviving holders,
         and only then is the slot re-admitted to routing.
         """
-        fleet = self.fleet
-        fleet.replace_member(index)
-        self._initialise_member(index)
-        router = self.router.with_membership(sorted(fleet.live_members))
-        report = self._migrate_to(router, populating=frozenset({index}))
-        fleet.mark_recovered(index)
-        self._install(router)
-        return report
+        with self._lock:
+            fleet = self.fleet
+            fleet.replace_member(index)
+            self._initialise_member(index)
+            router = self.router.with_membership(sorted(fleet.live_members))
+            report = self._migrate_to(router, populating=frozenset({index}))
+            fleet.mark_recovered(index)
+            self._install(router)
+            return report

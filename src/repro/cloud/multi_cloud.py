@@ -112,6 +112,7 @@ member (original or replica) completes.
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass
 from typing import (
@@ -574,6 +575,11 @@ class MultiCloud:
         #: FleetDegradedError reports *why* the exhausted chain's candidates
         #: died instead of leaving only "all failed".
         self._member_errors: Dict[int, CloudError] = {}
+        #: serializes whole batches (and observation resets) through the
+        #: fleet: wave planning, per-wave snapshots, failover bookkeeping,
+        #: and ``last_report`` all assume one batch in flight at a time.
+        #: Re-entrant so fleet-level helpers can nest a batch.
+        self._batch_lock = threading.RLock()
 
     def _new_member(self, index: int) -> CloudServer:
         """Build one member exactly as the constructor would have."""
@@ -1009,7 +1015,26 @@ class MultiCloud:
         identity*, so deduplicated retrievals stay shared and the owner can
         key decryption caches on it exactly as in the single-server batch
         path.
+
+        One batch flows through the fleet at a time: the batch lock guards
+        wave planning, per-wave snapshots, and ``last_report``, so concurrent
+        sessions (service tenants sharing one fleet) queue here rather than
+        corrupt each other's failover bookkeeping.
         """
+        with self._batch_lock:
+            return self._process_batch_locked(
+                requests, router, max_workers, response_consumer
+            )
+
+    def _process_batch_locked(
+        self,
+        requests: Sequence[BatchRequest],
+        router: ShardRouter,
+        max_workers: Optional[int] = None,
+        response_consumer: Optional[
+            Callable[[BatchRequest, QueryResponse], None]
+        ] = None,
+    ) -> List[QueryResponse]:
         # Invalidate up front: if this batch aborts (FleetDegradedError, a
         # mismatched router), a caller must not mistake the previous batch's
         # report for this one's.
@@ -1210,6 +1235,10 @@ class MultiCloud:
         reset — resets between workloads must not depend on every member
         being alive.
         """
+        with self._batch_lock:
+            self._reset_observations_locked()
+
+    def _reset_observations_locked(self) -> None:
         for index, server in enumerate(self.servers):
             try:
                 server.reset_observations()

@@ -5,10 +5,22 @@ the per-tuple transfer cost ``Ccom`` (≈ 4 µs for a 200-byte TPC-H Customer
 row at that bandwidth).  :class:`NetworkModel` converts tuple and byte counts
 into simulated seconds and keeps a transfer log so experiments can report the
 communication component of QB's trade-off separately from computation.
+
+Concurrency
+-----------
+A model instance is shared by everything charging traffic on one member's
+behalf: the member's serve path, fleet worker threads, proxy observation
+mirrors, and (under the service layer) multiple tenant sessions.  Every
+mutation — log appends, truncations, wire-byte bumps — therefore happens
+under one internal lock, and the aggregate readers snapshot the log under
+the same lock, so ``total_*`` and ``wire_bytes`` are exact even while other
+threads are recording.  The lock is deliberately excluded from pickles (a
+worker process reconstructs its own).
 """
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -53,6 +65,20 @@ class NetworkModel:
     #: crossed the pipe whether or not the batch survived.
     wire_bytes: int = 0
 
+    def __post_init__(self) -> None:
+        self._lock = threading.Lock()
+
+    # Locks are process-local; a pickled model (shipped to a worker process
+    # on non-fork platforms) rebuilds its own on arrival.
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        state.pop("_lock", None)
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._lock = threading.Lock()
+
     @property
     def seconds_per_tuple(self) -> float:
         """``Ccom`` — the time to move one tuple over the link."""
@@ -73,39 +99,72 @@ class NetworkModel:
     ) -> float:
         """Log a transfer and return its simulated duration in seconds."""
         seconds = self.transfer_seconds(tuples, extra_bytes)
-        self.log.append(
-            TransferLog(
-                direction=direction,
-                description=description,
-                tuples=tuples,
-                bytes_transferred=tuples * self.bytes_per_tuple + extra_bytes,
-                seconds=seconds,
-            )
+        entry = TransferLog(
+            direction=direction,
+            description=description,
+            tuples=tuples,
+            bytes_transferred=tuples * self.bytes_per_tuple + extra_bytes,
+            seconds=seconds,
         )
+        with self._lock:
+            self.log.append(entry)
         return seconds
 
+    # -- synchronized log/counter maintenance -------------------------------------
+    #
+    # Proxies and crash rollback manipulate the log structurally (bulk
+    # extends from observation deltas, truncations back to a snapshot).
+    # Routing those through the model keeps every mutation under the one
+    # lock instead of scattering ``model.log`` surgery across callers.
+
+    def extend_log(self, entries: List[TransferLog]) -> None:
+        """Append many entries atomically (proxy observation deltas)."""
+        with self._lock:
+            self.log.extend(entries)
+
+    def truncate_log(self, length: int) -> None:
+        """Drop every entry past ``length`` (crash/snapshot rollback)."""
+        with self._lock:
+            del self.log[length:]
+
+    def add_wire_bytes(self, count: int) -> None:
+        """Bump the transport-byte counter atomically."""
+        with self._lock:
+            self.wire_bytes += count
+
+    def set_wire_bytes(self, count: int) -> None:
+        """Overwrite the transport-byte counter (proxy epoch mirroring)."""
+        with self._lock:
+            self.wire_bytes = count
+
     # -- aggregate accounting ----------------------------------------------------
+    def _entries(self) -> List[TransferLog]:
+        """A point-in-time copy of the log (exact under concurrent writers)."""
+        with self._lock:
+            return list(self.log)
+
     def total_seconds(self, direction: Optional[str] = None) -> float:
         return sum(
             entry.seconds
-            for entry in self.log
+            for entry in self._entries()
             if direction is None or entry.direction == direction
         )
 
     def total_tuples(self, direction: Optional[str] = None) -> int:
         return sum(
             entry.tuples
-            for entry in self.log
+            for entry in self._entries()
             if direction is None or entry.direction == direction
         )
 
     def total_bytes(self, direction: Optional[str] = None) -> int:
         return sum(
             entry.bytes_transferred
-            for entry in self.log
+            for entry in self._entries()
             if direction is None or entry.direction == direction
         )
 
     def reset(self) -> None:
-        self.log.clear()
-        self.wire_bytes = 0
+        with self._lock:
+            self.log.clear()
+            self.wire_bytes = 0

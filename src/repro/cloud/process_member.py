@@ -73,6 +73,7 @@ from __future__ import annotations
 import multiprocessing
 import pickle
 import struct
+import threading
 import weakref
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -424,6 +425,11 @@ class ProcessMemberProxy:
         self._scheme: Optional[EncryptedSearchScheme] = None
         self._encrypted_row_count = 0
         self._closed = False
+        #: serializes the request/reply exchange *and* the mirror updates it
+        #: carries: the pipe is one conversation, so two threads calling into
+        #: the proxy concurrently would interleave frames and read each
+        #: other's replies.  Re-entrant so locked wrappers can nest ``_call``.
+        self._rpc_lock = threading.RLock()
 
         context = _spawn_context()
         self._connection, worker_connection = context.Pipe()
@@ -483,6 +489,12 @@ class ProcessMemberProxy:
     def _deadline_call(
         self, deadline: Optional[float], method: str, args, kwargs
     ):
+        with self._rpc_lock:
+            return self._deadline_call_locked(deadline, method, args, kwargs)
+
+    def _deadline_call_locked(
+        self, deadline: Optional[float], method: str, args, kwargs
+    ):
         if self._closed:
             if method == "process_batch":
                 # the member is gone; let the fleet's failover machinery
@@ -529,9 +541,10 @@ class ProcessMemberProxy:
         crash rollback deliberately leaves the mirror alone — see
         :class:`~repro.cloud.network.NetworkModel`).
         """
-        self.network.wire_bytes = (
-            self._channel.bytes_sent + self._channel.bytes_received
-        ) - self._wire_baseline
+        self.network.set_wire_bytes(
+            (self._channel.bytes_sent + self._channel.bytes_received)
+            - self._wire_baseline
+        )
 
     def _abandon_worker(self) -> None:
         """Kill a wedged worker immediately (no graceful shutdown attempt)."""
@@ -555,7 +568,7 @@ class ProcessMemberProxy:
         if delta.records:
             self.view_log.extend_records(delta.records)
         if delta.network_entries:
-            self.network.log.extend(delta.network_entries)
+            self.network.extend_log(delta.network_entries)
         self.stats = CloudStatistics.from_tuple(delta.stats)
         self._queries_issued = delta.queries_issued
         self._index_probe_counts = delta.index_probe_counts
@@ -630,20 +643,21 @@ class ProcessMemberProxy:
         # server); only the mirrored logs need the matching truncation.  A
         # closed member (dead or departed) has no worker to reset; clearing
         # the mirrors keeps fleet-wide resets total over tombstones.
-        if not self._closed:
-            self._call("reset_observations")
-        else:
-            # no worker left to reset and no delta coming: zero the mirrored
-            # counters directly so fleet-wide aggregates stop counting a
-            # gone member's past work after a reset
-            self.stats = CloudStatistics()
-        self.view_log.clear()
-        self.network.reset()
-        # New observation epoch: wire bytes mirrored from here on are the
-        # bytes moved *after* this reset.
-        self._wire_baseline = (
-            self._channel.bytes_sent + self._channel.bytes_received
-        )
+        with self._rpc_lock:
+            if not self._closed:
+                self._call("reset_observations")
+            else:
+                # no worker left to reset and no delta coming: zero the
+                # mirrored counters directly so fleet-wide aggregates stop
+                # counting a gone member's past work after a reset
+                self.stats = CloudStatistics()
+            self.view_log.clear()
+            self.network.reset()
+            # New observation epoch: wire bytes mirrored from here on are
+            # the bytes moved *after* this reset.
+            self._wire_baseline = (
+                self._channel.bytes_sent + self._channel.bytes_received
+            )
 
     def observation_snapshot(self) -> ObservationSnapshot:
         """Snapshot the member's observations from the local mirrors.
@@ -653,41 +667,46 @@ class ProcessMemberProxy:
         snapshot is the only kind a *dead* worker can still provide — which
         is what lets the fleet fail a real process loss over.
         """
-        return ObservationSnapshot(
-            view_count=len(self.view_log),
-            stats=self.stats.as_tuple(),
-            network_log_length=len(self.network.log),
-            queries_issued=self._queries_issued,
-            index_probe_counts=self._index_probe_counts,
-            tag_probe_count=self._tag_probe_count,
-            tag_rows_examined=self._tag_rows_examined,
-        )
+        with self._rpc_lock:
+            return ObservationSnapshot(
+                view_count=len(self.view_log),
+                stats=self.stats.as_tuple(),
+                network_log_length=len(self.network.log),
+                queries_issued=self._queries_issued,
+                index_probe_counts=self._index_probe_counts,
+                tag_probe_count=self._tag_probe_count,
+                tag_rows_examined=self._tag_rows_examined,
+            )
 
     def restore_observations(self, snapshot: ObservationSnapshot) -> None:
-        if not self._closed:
-            try:
-                self._call("restore_observations", snapshot)
-            except (MemberFailure, ProcessMemberError):
-                # The worker died with its un-synced in-flight observations —
-                # the crash *is* the restore; only the mirrors need rolling
-                # back (and they never saw the lost work to begin with).
-                pass
-        # The delta can only extend the mirrors; the rollback truncation is
-        # replayed locally (same copy-on-write semantics as the server's).
-        self.view_log._truncate(snapshot.view_count)
-        del self.network.log[snapshot.network_log_length:]
-        self.stats = CloudStatistics.from_tuple(snapshot.stats)
-        self._queries_issued = snapshot.queries_issued
-        self._index_probe_counts = snapshot.index_probe_counts
-        self._tag_probe_count = snapshot.tag_probe_count
-        self._tag_rows_examined = snapshot.tag_rows_examined
+        with self._rpc_lock:
+            if not self._closed:
+                try:
+                    self._call("restore_observations", snapshot)
+                except (MemberFailure, ProcessMemberError):
+                    # The worker died with its un-synced in-flight
+                    # observations — the crash *is* the restore; only the
+                    # mirrors need rolling back (and they never saw the lost
+                    # work to begin with).
+                    pass
+            # The delta can only extend the mirrors; the rollback truncation
+            # is replayed locally (same copy-on-write semantics as the
+            # server's).
+            self.view_log._truncate(snapshot.view_count)
+            self.network.truncate_log(snapshot.network_log_length)
+            self.stats = CloudStatistics.from_tuple(snapshot.stats)
+            self._queries_issued = snapshot.queries_issued
+            self._index_probe_counts = snapshot.index_probe_counts
+            self._tag_probe_count = snapshot.tag_probe_count
+            self._tag_rows_examined = snapshot.tag_rows_examined
 
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:
         """Shut the worker down; the proxy keeps its mirrors readable."""
-        if not self._closed:
-            self._closed = True
-            self._finalizer()
+        with self._rpc_lock:
+            if not self._closed:
+                self._closed = True
+                self._finalizer()
 
     @property
     def closed(self) -> bool:

@@ -46,6 +46,7 @@ the cost model, so experiments do not depend on wall-clock noise.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
@@ -294,6 +295,13 @@ class CloudServer:
         #: the skipped counters re-charged so accounting stays identical.
         self._ns_half_cache: Dict[Tuple, List[Row]] = {}
         self._s_half_cache: Dict[Tuple, Tuple[List[EncryptedRow], int]] = {}
+        #: serializes every observable transition — serving, mutation, cache
+        #: invalidation, snapshot/restore — so concurrent sessions (service
+        #: tenants, fleet failover, lifecycle migration) see each request's
+        #: side effects (query id, view record, counters, transfer entry)
+        #: land atomically.  Re-entrant because batch serving and migration
+        #: helpers nest locked calls.
+        self._lock = threading.RLock()
 
     # -- storage introspection (tests and the process-member worker read these) ----
     @property
@@ -326,17 +334,19 @@ class CloudServer:
         distinct request re-scanned per measured pass) instead of the
         fixed-cost floor a warm cache settles into.
         """
-        self._invalidate_retrievals()
+        with self._lock:
+            self._invalidate_retrievals()
 
     # -- outsourcing -------------------------------------------------------------
     def store_non_sensitive(self, relation: Relation) -> None:
         """Receive the cleartext non-sensitive relation from the owner."""
-        self._non_sensitive = relation
-        self._indexes.clear()
-        self._invalidate_retrievals()
-        self.network.record(
-            "upload", f"outsource {relation.name} (cleartext)", len(relation)
-        )
+        with self._lock:
+            self._non_sensitive = relation
+            self._indexes.clear()
+            self._invalidate_retrievals()
+            self.network.record(
+                "upload", f"outsource {relation.name} (cleartext)", len(relation)
+            )
 
     def store_sensitive(
         self,
@@ -361,25 +371,28 @@ class CloudServer:
         outsourcing pays one amortised key pass rather than a per-row call.
         """
         encrypted_rows = list(encrypted_rows)
-        self._encrypted_rows_snapshot = None
-        self._scheme = scheme
-        self._invalidate_retrievals()
-        self.storage.reset(
-            encrypted_rows,
-            scheme,
-            bin_assignment,
-            build_tag_index=(
-                self.use_encrypted_indexes and scheme.supports_tag_index
-            ),
-            build_bin_store=(
-                self.use_encrypted_indexes
-                and not scheme.supports_tag_index
-                and bin_assignment is not None
-            ),
-        )
-        self.network.record(
-            "upload", "outsource sensitive relation (encrypted)", len(encrypted_rows)
-        )
+        with self._lock:
+            self._encrypted_rows_snapshot = None
+            self._scheme = scheme
+            self._invalidate_retrievals()
+            self.storage.reset(
+                encrypted_rows,
+                scheme,
+                bin_assignment,
+                build_tag_index=(
+                    self.use_encrypted_indexes and scheme.supports_tag_index
+                ),
+                build_bin_store=(
+                    self.use_encrypted_indexes
+                    and not scheme.supports_tag_index
+                    and bin_assignment is not None
+                ),
+            )
+            self.network.record(
+                "upload",
+                "outsource sensitive relation (encrypted)",
+                len(encrypted_rows),
+            )
 
     def append_sensitive(
         self,
@@ -387,8 +400,11 @@ class CloudServer:
         bin_assignment: Optional[Mapping[int, int]] = None,
     ) -> None:
         """Receive additional encrypted rows (inserts, fake-tuple padding)."""
-        self._append_rows(encrypted_rows, bin_assignment)
-        self.network.record("upload", "append sensitive rows", len(encrypted_rows))
+        with self._lock:
+            self._append_rows(encrypted_rows, bin_assignment)
+            self.network.record(
+                "upload", "append sensitive rows", len(encrypted_rows)
+            )
 
     def receive_migrated_slice(
         self,
@@ -402,10 +418,11 @@ class CloudServer:
         owner-upload accounting (and its parity comparisons) never absorbs
         re-replication traffic.
         """
-        self._append_rows(encrypted_rows, bin_assignment)
-        self.network.record(
-            "migration-in", "install migrated bin slices", len(encrypted_rows)
-        )
+        with self._lock:
+            self._append_rows(encrypted_rows, bin_assignment)
+            self.network.record(
+                "migration-in", "install migrated bin slices", len(encrypted_rows)
+            )
 
     def _append_rows(
         self,
@@ -418,17 +435,20 @@ class CloudServer:
 
     def append_non_sensitive(self, rows: Iterable[Dict[str, object]]) -> int:
         """Receive additional cleartext rows (inserts); returns count added."""
-        if self._non_sensitive is None:
-            raise CloudError("no non-sensitive relation outsourced yet")
-        added = 0
-        for values in rows:
-            row = self._non_sensitive.insert(values, sensitive=False, validate=False)
-            for index in self._indexes.values():
-                index.add_row(row)
-            added += 1
-        self._invalidate_retrievals()
-        self.network.record("upload", "append non-sensitive rows", added)
-        return added
+        with self._lock:
+            if self._non_sensitive is None:
+                raise CloudError("no non-sensitive relation outsourced yet")
+            added = 0
+            for values in rows:
+                row = self._non_sensitive.insert(
+                    values, sensitive=False, validate=False
+                )
+                for index in self._indexes.values():
+                    index.add_row(row)
+                added += 1
+            self._invalidate_retrievals()
+            self.network.record("upload", "append non-sensitive rows", added)
+            return added
 
     def register_non_sensitive_row(self, row: Row) -> None:
         """Account for a cleartext row already present in the stored relation.
@@ -436,20 +456,24 @@ class CloudServer:
         Used when the owner inserts directly into the (shared) relation object
         and the cloud only needs to refresh its indexes and transfer log.
         """
-        if self._non_sensitive is None:
-            raise CloudError("no non-sensitive relation outsourced yet")
-        if row.rid not in self._non_sensitive:
-            raise CloudError(f"row {row.rid} is not part of the stored relation")
-        for index in self._indexes.values():
-            index.add_row(row)
-        self._invalidate_retrievals()
-        self.network.record("upload", "append non-sensitive row", 1)
+        with self._lock:
+            if self._non_sensitive is None:
+                raise CloudError("no non-sensitive relation outsourced yet")
+            if row.rid not in self._non_sensitive:
+                raise CloudError(
+                    f"row {row.rid} is not part of the stored relation"
+                )
+            for index in self._indexes.values():
+                index.add_row(row)
+            self._invalidate_retrievals()
+            self.network.record("upload", "append non-sensitive row", 1)
 
     def build_index(self, attribute: str) -> None:
         """Build a hash index over the cleartext relation for ``attribute``."""
-        if self._non_sensitive is None:
-            raise CloudError("no non-sensitive relation outsourced yet")
-        self._indexes[attribute] = HashIndex(self._non_sensitive, attribute)
+        with self._lock:
+            if self._non_sensitive is None:
+                raise CloudError("no non-sensitive relation outsourced yet")
+            self._indexes[attribute] = HashIndex(self._non_sensitive, attribute)
 
     # -- slice migration ------------------------------------------------------------
     #
@@ -461,7 +485,8 @@ class CloudServer:
 
     def stored_sensitive_bins(self) -> Dict[Optional[int], int]:
         """Stored row count per sensitive bin (``None`` = unassigned rows)."""
-        return self.storage.bin_counts()
+        with self._lock:
+            return self.storage.bin_counts()
 
     def sensitive_slice(
         self, bins: Sequence[Optional[int]]
@@ -474,11 +499,12 @@ class CloudServer:
         a SQLite backend this is one keyed ``SELECT`` against the bin index,
         not a Python row loop.
         """
-        rows, assignment = self.storage.slice_bins(bins)
-        self.network.record(
-            "migration-out", f"read {len(set(bins))} bin slices", len(rows)
-        )
-        return rows, assignment
+        with self._lock:
+            rows, assignment = self.storage.slice_bins(bins)
+            self.network.record(
+                "migration-out", f"read {len(set(bins))} bin slices", len(rows)
+            )
+            return rows, assignment
 
     def drop_sensitive_bins(self, bins: Sequence[Optional[int]]) -> int:
         """Remove the slices of ``bins`` this member no longer owns.
@@ -489,15 +515,16 @@ class CloudServer:
         rows dropped.  Over a SQLite backend the whole drop is one keyed
         ``DELETE`` transaction.
         """
-        dropped = self.storage.drop_bins(bins)
-        if not dropped:
-            return 0
-        self._encrypted_rows_snapshot = None
-        self._invalidate_retrievals()
-        self.network.record(
-            "migration-drop", f"drop {len(set(bins))} bin slices", dropped
-        )
-        return dropped
+        with self._lock:
+            dropped = self.storage.drop_bins(bins)
+            if not dropped:
+                return 0
+            self._encrypted_rows_snapshot = None
+            self._invalidate_retrievals()
+            self.network.record(
+                "migration-drop", f"drop {len(set(bins))} bin slices", dropped
+            )
+            return dropped
 
     def close(self) -> None:
         """Release storage resources (a SQLite backend's database file)."""
@@ -531,9 +558,10 @@ class CloudServer:
     @property
     def stored_encrypted_rows(self) -> Tuple[EncryptedRow, ...]:
         """The encrypted relation in storage order (cached between mutations)."""
-        if self._encrypted_rows_snapshot is None:
-            self._encrypted_rows_snapshot = tuple(self.storage.all_rows())
-        return self._encrypted_rows_snapshot
+        with self._lock:
+            if self._encrypted_rows_snapshot is None:
+                self._encrypted_rows_snapshot = tuple(self.storage.all_rows())
+            return self._encrypted_rows_snapshot
 
     # -- query processing --------------------------------------------------------
     def _select_non_sensitive(self, attribute: str, values: Sequence[object]) -> List[Row]:
@@ -668,7 +696,16 @@ class CloudServer:
         record, statistics increments, and network transfer entry; only the
         *compute* (index probes, scans, scheme matching, tuple building) is
         shared between repeats of the same request.
+
+        The whole serve — id allocation, compute-or-intern, counter bumps,
+        transfer entry, view record — happens under the server lock, so a
+        concurrent mutation can never clear a cache this request is reading
+        and every query's observables land as one atomic unit.
         """
+        with self._lock:
+            return self._serve_locked(request)
+
+    def _serve_locked(self, request: BatchRequest) -> QueryResponse:
         query_id = self._queries_issued
         self._queries_issued += 1
 
@@ -754,35 +791,44 @@ class CloudServer:
         transfer, exactly as if served from scratch.  Only the compute is
         shared, so counters *inside* a scheme that tally cryptographic
         operations actually performed will reflect the deduplication.
+
+        The lock is taken once for the whole batch, so a batch's query ids
+        (and its adversarial-view order) stay contiguous even when other
+        sessions are serving concurrently.
         """
-        serve = self._serve
-        return [serve(request) for request in requests]
+        with self._lock:
+            serve = self._serve_locked
+            return [serve(request) for request in requests]
 
     def reset_observations(self) -> None:
         """Clear adversarial views and counters (between experiments)."""
-        self.view_log.clear()
-        self.stats = CloudStatistics()
-        self.network.reset()
+        with self._lock:
+            self.view_log.clear()
+            self.stats = CloudStatistics()
+            self.network.reset()
 
     # -- crash semantics -----------------------------------------------------------
     def observation_snapshot(self) -> ObservationSnapshot:
         """Capture the server's observable side effects (see the snapshot doc)."""
-        return ObservationSnapshot(
-            view_count=len(self.view_log),
-            stats=self.stats.as_tuple(),
-            network_log_length=len(self.network.log),
-            queries_issued=self._queries_issued,
-            index_probe_counts=tuple(
-                (attribute, index.probe_count)
-                for attribute, index in self._indexes.items()
-            ),
-            tag_probe_count=(
-                self._tag_index.probe_count if self._tag_index is not None else 0
-            ),
-            tag_rows_examined=(
-                self._tag_index.rows_examined if self._tag_index is not None else 0
-            ),
-        )
+        with self._lock:
+            return ObservationSnapshot(
+                view_count=len(self.view_log),
+                stats=self.stats.as_tuple(),
+                network_log_length=len(self.network.log),
+                queries_issued=self._queries_issued,
+                index_probe_counts=tuple(
+                    (attribute, index.probe_count)
+                    for attribute, index in self._indexes.items()
+                ),
+                tag_probe_count=(
+                    self._tag_index.probe_count if self._tag_index is not None else 0
+                ),
+                tag_rows_examined=(
+                    self._tag_index.rows_examined
+                    if self._tag_index is not None
+                    else 0
+                ),
+            )
 
     def restore_observations(self, snapshot: ObservationSnapshot) -> None:
         """Roll observable side effects back to ``snapshot``.
@@ -793,13 +839,14 @@ class CloudServer:
         only the state that existed when the batch started.  Durable storage
         (relations, ciphertexts, indexes' contents) is untouched.
         """
-        del self.view_log.views[snapshot.view_count:]
-        self.stats = CloudStatistics.from_tuple(snapshot.stats)
-        del self.network.log[snapshot.network_log_length:]
-        self._queries_issued = snapshot.queries_issued
-        for attribute, probe_count in snapshot.index_probe_counts:
-            if attribute in self._indexes:
-                self._indexes[attribute].probe_count = probe_count
-        if self._tag_index is not None:
-            self._tag_index.probe_count = snapshot.tag_probe_count
-            self._tag_index.rows_examined = snapshot.tag_rows_examined
+        with self._lock:
+            del self.view_log.views[snapshot.view_count:]
+            self.stats = CloudStatistics.from_tuple(snapshot.stats)
+            self.network.truncate_log(snapshot.network_log_length)
+            self._queries_issued = snapshot.queries_issued
+            for attribute, probe_count in snapshot.index_probe_counts:
+                if attribute in self._indexes:
+                    self._indexes[attribute].probe_count = probe_count
+            if self._tag_index is not None:
+                self._tag_index.probe_count = snapshot.tag_probe_count
+                self._tag_index.rows_examined = snapshot.tag_rows_examined

@@ -32,8 +32,11 @@ crash rollback never touches the database.
 
 Durability and transactions
 ---------------------------
-The SQLite file runs in WAL mode with ``synchronous=NORMAL`` (single-writer
-members; the fleet serves each member from one thread at a time).  Every
+The SQLite file runs in WAL mode with ``synchronous=NORMAL``.  The single
+shared connection is serialized by a re-entrant mutex — concurrent tenant
+sessions, fleet waves, and lifecycle migrations may all reach one member —
+and a SAVEPOINT scope holds the mutex end to end, so a probe from another
+thread can never interleave inside an open transaction.  Every
 multi-statement mutation — outsourcing, appends, migration drops — runs
 inside a ``SAVEPOINT`` and rolls back atomically on error, so a failed
 migration can never leave a member with half a slice: the handoff is a keyed
@@ -46,6 +49,7 @@ from __future__ import annotations
 import os
 import sqlite3
 import tempfile
+import threading
 import weakref
 from contextlib import contextmanager
 from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple, Union
@@ -429,8 +433,13 @@ class SQLiteBackend(StorageBackend):
         else:
             self._owns_file = False
         self.path = path
-        # One writer thread at a time (the fleet serves a member from a
-        # single worker per wave), but waves may run on different threads.
+        # The single connection is shared across whatever threads reach this
+        # member (fleet waves, lifecycle migrations, concurrent tenant
+        # sessions), so every statement runs under ``_mutex`` — re-entrant
+        # because a SAVEPOINT scope holds it while the statements inside run.
+        # Without it, a probe from a second thread can interleave inside
+        # another thread's open SAVEPOINT and be swept up by its rollback.
+        self._mutex = threading.RLock()
         self._connection = sqlite3.connect(
             path, check_same_thread=False, isolation_level=None
         )
@@ -454,23 +463,29 @@ class SQLiteBackend(StorageBackend):
     # -- transactions -------------------------------------------------------------
     @contextmanager
     def transaction(self) -> Iterator[None]:
-        """A SAVEPOINT-guarded scope: all statements commit or none do."""
-        name = f"sp_{self._savepoint_depth}"
-        self._savepoint_depth += 1
-        counters = (self._row_count, self._next_position)
-        self._connection.execute(f"SAVEPOINT {name}")
-        try:
-            yield
-        except BaseException:
-            self._connection.execute(f"ROLLBACK TO {name}")
-            self._connection.execute(f"RELEASE {name}")
-            # the Python-side counters must roll back with the tables
-            self._row_count, self._next_position = counters
-            raise
-        else:
-            self._connection.execute(f"RELEASE {name}")
-        finally:
-            self._savepoint_depth -= 1
+        """A SAVEPOINT-guarded scope: all statements commit or none do.
+
+        The connection mutex is held for the *whole* scope, not per
+        statement, so no other thread's read or write can land inside the
+        SAVEPOINT (and be silently swept up by its rollback).
+        """
+        with self._mutex:
+            name = f"sp_{self._savepoint_depth}"
+            self._savepoint_depth += 1
+            counters = (self._row_count, self._next_position)
+            self._connection.execute(f"SAVEPOINT {name}")
+            try:
+                yield
+            except BaseException:
+                self._connection.execute(f"ROLLBACK TO {name}")
+                self._connection.execute(f"RELEASE {name}")
+                # the Python-side counters must roll back with the tables
+                self._row_count, self._next_position = counters
+                raise
+            else:
+                self._connection.execute(f"RELEASE {name}")
+            finally:
+                self._savepoint_depth -= 1
 
     # -- outsourcing --------------------------------------------------------------
     def reset(
@@ -566,40 +581,43 @@ class SQLiteBackend(StorageBackend):
 
     def all_rows(self) -> List[EncryptedRow]:
         make = self._make_row
-        return [
-            make(*fields)
-            for fields in self._connection.execute(
-                "SELECT rid, ciphertext, search_tag, is_fake FROM rows"
-                " ORDER BY position"
-            )
-        ]
+        with self._mutex:
+            return [
+                make(*fields)
+                for fields in self._connection.execute(
+                    "SELECT rid, ciphertext, search_tag, is_fake FROM rows"
+                    " ORDER BY position"
+                )
+            ]
 
     def bin_counts(self) -> Dict[Optional[int], int]:
-        return {
-            bin_index: count
-            for bin_index, count in self._connection.execute(
-                "SELECT b.bin, COUNT(*) FROM rows r"
-                " LEFT JOIN bins b ON b.rid = r.rid GROUP BY b.bin"
-            )
-        }
+        with self._mutex:
+            return {
+                bin_index: count
+                for bin_index, count in self._connection.execute(
+                    "SELECT b.bin, COUNT(*) FROM rows r"
+                    " LEFT JOIN bins b ON b.rid = r.rid GROUP BY b.bin"
+                )
+            }
 
     def bin_candidates(self, bin_index: int) -> List[EncryptedRow]:
         make = self._make_row
-        candidates = [
-            make(*fields)
-            for fields in self._connection.execute(
-                "SELECT rid, ciphertext, search_tag, is_fake FROM rows"
-                " WHERE placed_bin = ? ORDER BY position",
-                (bin_index,),
+        with self._mutex:
+            candidates = [
+                make(*fields)
+                for fields in self._connection.execute(
+                    "SELECT rid, ciphertext, search_tag, is_fake FROM rows"
+                    " WHERE placed_bin = ? ORDER BY position",
+                    (bin_index,),
+                )
+            ]
+            candidates.extend(
+                make(*fields)
+                for fields in self._connection.execute(
+                    "SELECT rid, ciphertext, search_tag, is_fake FROM rows"
+                    " WHERE placed_bin IS NULL ORDER BY position"
+                )
             )
-        ]
-        candidates.extend(
-            make(*fields)
-            for fields in self._connection.execute(
-                "SELECT rid, ciphertext, search_tag, is_fake FROM rows"
-                " WHERE placed_bin IS NULL ORDER BY position"
-            )
-        )
         return candidates
 
     # -- slice migration ----------------------------------------------------------
@@ -626,15 +644,22 @@ class SQLiteBackend(StorageBackend):
         rows: List[EncryptedRow] = []
         assignment: Dict[int, int] = {}
         make = self._make_row
-        for rid, ciphertext, search_tag, is_fake, bin_index in self._connection.execute(
-            "SELECT r.rid, r.ciphertext, r.search_tag, r.is_fake, b.bin"
-            " FROM rows r LEFT JOIN bins b ON b.rid = r.rid"
-            f" WHERE {condition} ORDER BY r.position",
-            params,
-        ):
-            rows.append(make(rid, ciphertext, search_tag, is_fake))
-            if bin_index is not None:
-                assignment[rid] = bin_index
+        with self._mutex:
+            for (
+                rid,
+                ciphertext,
+                search_tag,
+                is_fake,
+                bin_index,
+            ) in self._connection.execute(
+                "SELECT r.rid, r.ciphertext, r.search_tag, r.is_fake, b.bin"
+                " FROM rows r LEFT JOIN bins b ON b.rid = r.rid"
+                f" WHERE {condition} ORDER BY r.position",
+                params,
+            ):
+                rows.append(make(rid, ciphertext, search_tag, is_fake))
+                if bin_index is not None:
+                    assignment[rid] = bin_index
         return rows, assignment
 
     def drop_bins(self, bins: Sequence[Optional[int]]) -> int:
@@ -685,49 +710,63 @@ class SQLiteBackend(StorageBackend):
             return None
         view: Dict[int, List[EncryptedRow]] = {}
         make = self._make_row
-        for bin_index, rid, ciphertext, search_tag, is_fake in self._connection.execute(
-            "SELECT placed_bin, rid, ciphertext, search_tag, is_fake FROM rows"
-            " WHERE placed_bin IS NOT NULL ORDER BY position"
-        ):
-            view.setdefault(bin_index, []).append(
-                make(rid, ciphertext, search_tag, is_fake)
-            )
+        with self._mutex:
+            for (
+                bin_index,
+                rid,
+                ciphertext,
+                search_tag,
+                is_fake,
+            ) in self._connection.execute(
+                "SELECT placed_bin, rid, ciphertext, search_tag, is_fake FROM rows"
+                " WHERE placed_bin IS NOT NULL ORDER BY position"
+            ):
+                view.setdefault(bin_index, []).append(
+                    make(rid, ciphertext, search_tag, is_fake)
+                )
         return view
 
     def bin_assignment_view(self) -> Dict[int, int]:
-        return dict(self._connection.execute("SELECT rid, bin FROM bins"))
+        with self._mutex:
+            return dict(self._connection.execute("SELECT rid, bin FROM bins"))
 
     # -- tag-index plumbing -------------------------------------------------------
     def _probe_tag(self, key: bytes) -> List[Tuple[int, EncryptedRow]]:
         make = self._make_row
-        return [
-            (position, make(rid, ciphertext, search_tag, is_fake))
-            for position, rid, ciphertext, search_tag, is_fake in (
-                self._connection.execute(
-                    "SELECT t.position, r.rid, r.ciphertext, r.search_tag,"
-                    " r.is_fake FROM tags t JOIN rows r ON r.position = t.position"
-                    " WHERE t.key = ? ORDER BY t.position",
-                    (key,),
+        with self._mutex:
+            return [
+                (position, make(rid, ciphertext, search_tag, is_fake))
+                for position, rid, ciphertext, search_tag, is_fake in (
+                    self._connection.execute(
+                        "SELECT t.position, r.rid, r.ciphertext, r.search_tag,"
+                        " r.is_fake FROM tags t JOIN rows r ON r.position = t.position"
+                        " WHERE t.key = ? ORDER BY t.position",
+                        (key,),
+                    )
                 )
-            )
-        ]
+            ]
 
     def _distinct_tag_count(self) -> int:
-        (count,) = self._connection.execute(
-            "SELECT COUNT(DISTINCT key) FROM tags"
-        ).fetchone()
-        return count
+        with self._mutex:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(DISTINCT key) FROM tags"
+            ).fetchone()
+            return count
 
     def _tag_entry_count(self) -> int:
-        (count,) = self._connection.execute("SELECT COUNT(*) FROM tags").fetchone()
-        return count
+        with self._mutex:
+            (count,) = self._connection.execute(
+                "SELECT COUNT(*) FROM tags"
+            ).fetchone()
+            return count
 
     # -- lifecycle ----------------------------------------------------------------
     def close(self) -> None:
         """Close the connection and remove an owned temporary database file."""
-        if not self._closed:
-            self._closed = True
-            self._finalizer()
+        with self._mutex:
+            if not self._closed:
+                self._closed = True
+                self._finalizer()
 
 
 def make_storage_backend(

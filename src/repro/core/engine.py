@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 import random
+import threading
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -69,6 +70,14 @@ class _PartitionedEngineBase:
         self.attribute = attribute
         self.scheme = scheme
         self.cloud = cloud or CloudServer()
+        #: the per-tenant engine lock: one owner-side operation (setup,
+        #: query, workload, insert) at a time.  Owner caches — tokens,
+        #: interned requests, decrypted bins — are read-and-filled by
+        #: queries and *cleared* by inserts; without this lock a mid-query
+        #: insert from a second session can clear a cache the query is
+        #: iterating.  Re-entrant: workloads nest per-query paths, and the
+        #: scheme/metadata objects are owned by exactly one engine.
+        self._lock = threading.RLock()
         self._outsourced = False
         self._fake_rid_counter = itertools.count(start=-1, step=-1)
         # Fresh rids for inserted rows must not collide with rids in *either*
@@ -321,6 +330,10 @@ class QueryBinningEngine(_PartitionedEngineBase):
     # -- setup -----------------------------------------------------------------------
     def setup(self) -> "QueryBinningEngine":
         """Build metadata and bins, encrypt, and outsource both partitions."""
+        with self._lock:
+            return self._setup_locked()
+
+    def _setup_locked(self) -> "QueryBinningEngine":
         sensitive_counts = dict(self.partition.sensitive.value_counts(self.attribute))
         non_sensitive_counts = dict(
             self.partition.non_sensitive.value_counts(self.attribute)
@@ -480,9 +493,10 @@ class QueryBinningEngine(_PartitionedEngineBase):
     # -- querying -----------------------------------------------------------------------
     def rewrite(self, value: object) -> BinnedQuery:
         """Expose the QB rewriting of a query (without executing it)."""
-        self._require_setup()
-        assert self.retriever is not None
-        return self.retriever.rewrite(SelectionQuery(self.attribute, value))
+        with self._lock:
+            self._require_setup()
+            assert self.retriever is not None
+            return self.retriever.rewrite(SelectionQuery(self.attribute, value))
 
     def query(self, value: object) -> List[Row]:
         """Answer ``SELECT * WHERE attribute = value`` securely."""
@@ -491,20 +505,21 @@ class QueryBinningEngine(_PartitionedEngineBase):
 
     def query_with_trace(self, value: object) -> Tuple[List[Row], ExecutionTrace]:
         """Answer a query and return the execution trace for cost accounting."""
-        self._require_setup()
-        assert self.retriever is not None
-        query = SelectionQuery(self.attribute, value)
-        decision = self.retriever.retrieve(value)
+        with self._lock:
+            self._require_setup()
+            assert self.retriever is not None
+            query = SelectionQuery(self.attribute, value)
+            decision = self.retriever.retrieve(value)
 
-        if not decision.retrieves_anything:
-            return [], self._empty_trace(query)
+            if not decision.retrieves_anything:
+                return [], self._empty_trace(query)
 
-        response = self.cloud.serve(self.request_for_decision(decision))
-        sensitive_rows = self._decrypt_bin(
-            decision.sensitive_bin_index, response.encrypted_rows
-        )
-        rows = merge_results(query, sensitive_rows, response.non_sensitive_rows)
-        return rows, self._trace_for(query, decision, response, len(rows))
+            response = self.cloud.serve(self.request_for_decision(decision))
+            sensitive_rows = self._decrypt_bin(
+                decision.sensitive_bin_index, response.encrypted_rows
+            )
+            rows = merge_results(query, sensitive_rows, response.non_sensitive_rows)
+            return rows, self._trace_for(query, decision, response, len(rows))
 
     def _decrypt_bin(
         self, sensitive_bin_index: Optional[int], encrypted_rows: Sequence[EncryptedRow]
@@ -537,22 +552,23 @@ class QueryBinningEngine(_PartitionedEngineBase):
         holds at most ``token_cache_bins`` bins (FIFO eviction; ``None`` =
         unbounded, ``0`` disables caching).
         """
-        if not decision.sensitive_values:
-            return []
-        bin_index = decision.sensitive_bin_index
-        if bin_index is None:
-            return self.scheme.tokens_for_values(
-                list(decision.sensitive_values), self.attribute
-            )
-        tokens = self._token_cache.get(bin_index)
-        if tokens is None:
-            tokens = self.scheme.tokens_for_values(
-                list(decision.sensitive_values), self.attribute
-            )
-            self._fifo_put(
-                self._token_cache, bin_index, tokens, self._token_cache_bins
-            )
-        return tokens
+        with self._lock:
+            if not decision.sensitive_values:
+                return []
+            bin_index = decision.sensitive_bin_index
+            if bin_index is None:
+                return self.scheme.tokens_for_values(
+                    list(decision.sensitive_values), self.attribute
+                )
+            tokens = self._token_cache.get(bin_index)
+            if tokens is None:
+                tokens = self.scheme.tokens_for_values(
+                    list(decision.sensitive_values), self.attribute
+                )
+                self._fifo_put(
+                    self._token_cache, bin_index, tokens, self._token_cache_bins
+                )
+            return tokens
 
     def request_for_decision(self, decision: RetrievalDecision) -> BatchRequest:
         """The interned cloud request for one retrieval decision.
@@ -568,24 +584,25 @@ class QueryBinningEngine(_PartitionedEngineBase):
         setup) and is cleared with the token cache; entries are capped at
         ``token_cache_bins`` (FIFO).
         """
-        assert self.layout is not None
-        if self._request_cache_version != self.layout.version:
-            self._request_cache.clear()
-            self._request_cache_version = self.layout.version
-        key = (decision.sensitive_bin_index, decision.non_sensitive_bin_index)
-        request = self._request_cache.get(key)
-        if request is None:
-            request = BatchRequest(
-                attribute=self.attribute,
-                cleartext_values=tuple(decision.non_sensitive_values),
-                tokens=tuple(self.tokens_for_decision(decision)),
-                sensitive_bin_index=decision.sensitive_bin_index,
-                non_sensitive_bin_index=decision.non_sensitive_bin_index,
-            )
-            self._fifo_put(
-                self._request_cache, key, request, self._token_cache_bins
-            )
-        return request
+        with self._lock:
+            assert self.layout is not None
+            if self._request_cache_version != self.layout.version:
+                self._request_cache.clear()
+                self._request_cache_version = self.layout.version
+            key = (decision.sensitive_bin_index, decision.non_sensitive_bin_index)
+            request = self._request_cache.get(key)
+            if request is None:
+                request = BatchRequest(
+                    attribute=self.attribute,
+                    cleartext_values=tuple(decision.non_sensitive_values),
+                    tokens=tuple(self.tokens_for_decision(decision)),
+                    sensitive_bin_index=decision.sensitive_bin_index,
+                    non_sensitive_bin_index=decision.non_sensitive_bin_index,
+                )
+                self._fifo_put(
+                    self._request_cache, key, request, self._token_cache_bins
+                )
+            return request
 
     def build_requests(
         self, values: Sequence[object]
@@ -600,17 +617,18 @@ class QueryBinningEngine(_PartitionedEngineBase):
         so a steady-state workload rewrite is a decision memo probe plus a
         request memo probe per query.
         """
-        self._require_setup()
-        assert self.retriever is not None
-        requests: List[BatchRequest] = []
-        slots: List[Optional[RetrievalDecision]] = []
-        for decision in self.retriever.retrieve_many(values):
-            if not decision.retrieves_anything:
-                slots.append(None)
-                continue
-            requests.append(self.request_for_decision(decision))
-            slots.append(decision)
-        return requests, slots
+        with self._lock:
+            self._require_setup()
+            assert self.retriever is not None
+            requests: List[BatchRequest] = []
+            slots: List[Optional[RetrievalDecision]] = []
+            for decision in self.retriever.retrieve_many(values):
+                if not decision.retrieves_anything:
+                    slots.append(None)
+                    continue
+                requests.append(self.request_for_decision(decision))
+                slots.append(decision)
+            return requests, slots
 
     def execute_workload(
         self,
@@ -659,6 +677,15 @@ class QueryBinningEngine(_PartitionedEngineBase):
         return self._run_workload(values, batched, placement)
 
     def _run_workload(
+        self,
+        values: Iterable[object],
+        batched: bool,
+        placement: Optional[str],
+    ) -> List[Tuple[List[Row], ExecutionTrace]]:
+        with self._lock:
+            return self._run_workload_locked(values, batched, placement)
+
+    def _run_workload_locked(
         self,
         values: Iterable[object],
         batched: bool,
@@ -796,6 +823,10 @@ class QueryBinningEngine(_PartitionedEngineBase):
         layout; new values require re-binning, which
         :mod:`repro.extensions.inserts` handles incrementally.
         """
+        with self._lock:
+            self._insert_locked(values, sensitive)
+
+    def _insert_locked(self, values: Dict[str, object], sensitive: bool) -> None:
         self._require_setup()
         rid = next(self._insert_rid_counter)
         if sensitive:
@@ -854,6 +885,12 @@ class QueryBinningEngine(_PartitionedEngineBase):
         one ``append_sensitive`` shipment, and one owner-cache invalidation
         for the whole batch instead of one of each per sensitive row.
         """
+        with self._lock:
+            self._insert_many_locked(rows)
+
+    def _insert_many_locked(
+        self, rows: Sequence[Tuple[Dict[str, object], bool]]
+    ) -> None:
         self._require_setup()
         sensitive_rows: List[Row] = []
         bin_assignment: Dict[int, int] = {}
@@ -902,35 +939,37 @@ class NaivePartitionedEngine(_PartitionedEngineBase):
     """Partitioned execution *without* binning (the leaky baseline of §II)."""
 
     def setup(self) -> "NaivePartitionedEngine":
-        encrypted = self._encrypt_sensitive_rows()
-        self.cloud.store_non_sensitive(self.partition.non_sensitive)
-        self.cloud.store_sensitive(encrypted, self.scheme)
-        self.cloud.build_index(self.attribute)
-        self._outsourced = True
-        return self
+        with self._lock:
+            encrypted = self._encrypt_sensitive_rows()
+            self.cloud.store_non_sensitive(self.partition.non_sensitive)
+            self.cloud.store_sensitive(encrypted, self.scheme)
+            self.cloud.build_index(self.attribute)
+            self._outsourced = True
+            return self
 
     def query(self, value: object) -> List[Row]:
         rows, _trace = self.query_with_trace(value)
         return rows
 
     def query_with_trace(self, value: object) -> Tuple[List[Row], ExecutionTrace]:
-        if not self._outsourced:
-            raise ConfigurationError("call setup() before issuing queries")
-        query = SelectionQuery(self.attribute, value)
-        tokens = self.scheme.tokens_for_values([value], self.attribute)
-        response = self.cloud.process_request(self.attribute, [value], tokens)
-        rows = self._decrypt_and_merge(query, response)
-        trace = ExecutionTrace(
-            query=query,
-            binned=None,
-            sensitive_values_requested=1,
-            non_sensitive_values_requested=1,
-            encrypted_rows_returned=len(response.encrypted_rows),
-            non_sensitive_rows_returned=len(response.non_sensitive_rows),
-            rows_after_merge=len(rows),
-            transfer_seconds=response.transfer_seconds,
-        )
-        return rows, trace
+        with self._lock:
+            if not self._outsourced:
+                raise ConfigurationError("call setup() before issuing queries")
+            query = SelectionQuery(self.attribute, value)
+            tokens = self.scheme.tokens_for_values([value], self.attribute)
+            response = self.cloud.process_request(self.attribute, [value], tokens)
+            rows = self._decrypt_and_merge(query, response)
+            trace = ExecutionTrace(
+                query=query,
+                binned=None,
+                sensitive_values_requested=1,
+                non_sensitive_values_requested=1,
+                encrypted_rows_returned=len(response.encrypted_rows),
+                non_sensitive_rows_returned=len(response.non_sensitive_rows),
+                rows_after_merge=len(rows),
+                transfer_seconds=response.transfer_seconds,
+            )
+            return rows, trace
 
     def execute_workload(self, values: Iterable[object]) -> List[ExecutionTrace]:
         return [self.query_with_trace(value)[1] for value in values]

@@ -102,3 +102,31 @@ class SecurityViolation(ReproError):
 
 class ConfigurationError(ReproError):
     """A component was configured with inconsistent or missing parameters."""
+
+
+class ServiceError(ReproError):
+    """The encrypted-search service could not serve a request.
+
+    Base class for service-layer failures reported back over the wire; the
+    server maps any :class:`ReproError` a tenant operation raises into an
+    error response carrying the original exception type's name.
+    """
+
+
+class ServiceOverloadedError(ServiceError):
+    """The service's admission queue is full; the request was rejected.
+
+    The bounded queue trades latency for an explicit signal: rather than
+    letting queueing delay grow without bound past the service's capacity,
+    an over-offered request is rejected immediately and the client may
+    retry later (ideally with backoff).  Load harnesses count these
+    rejections separately from served latencies.
+    """
+
+
+class ServiceClosedError(ServiceError):
+    """The service (or this connection) is shutting down or already closed."""
+
+
+class UnknownTenantError(ServiceError):
+    """A request named a tenant the registry has not provisioned."""

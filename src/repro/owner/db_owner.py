@@ -24,6 +24,7 @@ Example
 from __future__ import annotations
 
 import random
+import threading
 from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.adversary.auditor import PartitionedSecurityAuditor, SecurityReport
@@ -90,6 +91,12 @@ class DBOwner:
         self._engines: Dict[str, QueryBinningEngine] = {}
         self._schemes: Dict[str, EncryptedSearchScheme] = {}
         self._multi_clouds: Dict[str, MultiCloud] = {}
+        #: guards the owner's own structural state — the engine/scheme/fleet
+        #: registries and the shared relation object mutated by inserts.
+        #: Queries deliberately run outside it (each engine has its own
+        #: lock), so one attribute's slow workload never blocks another's.
+        self._lock = threading.RLock()
+        self._closed = False
 
     # -- setup ------------------------------------------------------------------
     def _make_scheme(self, attribute: str) -> EncryptedSearchScheme:
@@ -108,6 +115,15 @@ class DBOwner:
         Returns the engine, which is also cached so subsequent
         :meth:`query` calls for the attribute reuse it.
         """
+        with self._lock:
+            return self._outsource_locked(attribute, scheme, add_fake_tuples)
+
+    def _outsource_locked(
+        self,
+        attribute: str,
+        scheme: Optional[EncryptedSearchScheme],
+        add_fake_tuples: bool,
+    ) -> QueryBinningEngine:
         if attribute in self._engines:
             return self._engines[attribute]
         chosen_scheme = scheme or self._make_scheme(attribute)
@@ -214,11 +230,12 @@ class DBOwner:
 
     def insert(self, values: Dict[str, object]) -> None:
         """Insert a new row, classifying it under the owner's policy."""
-        probe = Row(rid=-1, values=dict(values), sensitive=False)
-        sensitive = self.policy.is_sensitive_row(probe)
-        self.relation.insert(values, sensitive=sensitive, validate=False)
-        for engine in self._engines.values():
-            engine.insert(values, sensitive=sensitive)
+        with self._lock:
+            probe = Row(rid=-1, values=dict(values), sensitive=False)
+            sensitive = self.policy.is_sensitive_row(probe)
+            self.relation.insert(values, sensitive=sensitive, validate=False)
+            for engine in self._engines.values():
+                engine.insert(values, sensitive=sensitive)
 
     def insert_many(self, rows: Sequence[Dict[str, object]]) -> None:
         """Insert many rows with one batched call per outsourced attribute.
@@ -230,14 +247,40 @@ class DBOwner:
         RPC-and-cache-flush per row.  Stored state is identical to calling
         :meth:`insert` per row, in order.
         """
-        classified: List[Tuple[Dict[str, object], bool]] = []
-        for values in rows:
-            probe = Row(rid=-1, values=dict(values), sensitive=False)
-            sensitive = self.policy.is_sensitive_row(probe)
-            self.relation.insert(values, sensitive=sensitive, validate=False)
-            classified.append((values, sensitive))
-        for engine in self._engines.values():
-            engine.insert_many(classified)
+        with self._lock:
+            classified: List[Tuple[Dict[str, object], bool]] = []
+            for values in rows:
+                probe = Row(rid=-1, values=dict(values), sensitive=False)
+                sensitive = self.policy.is_sensitive_row(probe)
+                self.relation.insert(values, sensitive=sensitive, validate=False)
+                classified.append((values, sensitive))
+            for engine in self._engines.values():
+                engine.insert_many(classified)
+
+    # -- lifecycle ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release every cloud-side resource this owner created.
+
+        Closes each outsourced attribute's fleet (worker processes under the
+        process backend) and cloud server (a SQLite backend's database
+        file), then the reference server.  Idempotent; the service layer's
+        graceful shutdown drains in-flight work before calling this.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            for fleet in self._multi_clouds.values():
+                fleet.close()
+            for engine in self._engines.values():
+                engine.cloud.close()
+            self.cloud.close()
+
+    def __enter__(self) -> "DBOwner":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()
 
     # -- security auditing ----------------------------------------------------------
     def audit(self, attribute: str, full_domain_queried: bool = False) -> SecurityReport:

@@ -1,0 +1,34 @@
+"""A multi-tenant encrypted-search service over the QB engine.
+
+See :doc:`docs/service` for the architecture.  Public surface:
+
+- :class:`~repro.service.server.EncryptedSearchService` — the server
+- :class:`~repro.service.client.ServiceClient` — a pipelining client
+- :class:`~repro.service.tenants.TenantRegistry` /
+  :class:`~repro.service.tenants.TenantSession` — tenant isolation
+- :class:`~repro.service.protocol.ServiceRequest` /
+  :class:`~repro.service.protocol.ServiceResponse` — the wire messages
+"""
+
+from repro.service.client import ServiceClient
+from repro.service.protocol import (
+    SERVICE_OPS,
+    ServiceRequest,
+    ServiceResponse,
+    SocketConnection,
+    make_channel,
+)
+from repro.service.server import EncryptedSearchService
+from repro.service.tenants import TenantRegistry, TenantSession
+
+__all__ = [
+    "EncryptedSearchService",
+    "ServiceClient",
+    "TenantRegistry",
+    "TenantSession",
+    "ServiceRequest",
+    "ServiceResponse",
+    "SocketConnection",
+    "SERVICE_OPS",
+    "make_channel",
+]

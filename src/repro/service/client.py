@@ -1,0 +1,164 @@
+"""Client for the encrypted-search service.
+
+:class:`ServiceClient` owns one TCP connection and multiplexes any number
+of in-flight requests over it.  A background receiver thread reads
+responses and resolves the :class:`concurrent.futures.Future` registered
+under each request id, so callers can either block per request
+(:meth:`call`) or pipeline — fire many :meth:`submit` calls and collect the
+futures later.  The open-loop load harness depends on pipelining: an
+open-loop client must issue the next arrival on schedule even while earlier
+requests are still in flight, or measured latency silently degrades into
+closed-loop latency.
+
+Response statuses map to exceptions: ``"rejected"`` raises
+:class:`~repro.exceptions.ServiceOverloadedError` (back off and retry),
+``"error"`` raises :class:`~repro.exceptions.ServiceError` carrying the
+server-side exception type's name.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from concurrent.futures import Future
+from typing import Dict, Optional, Tuple
+
+from repro import exceptions
+from repro.exceptions import (
+    ServiceClosedError,
+    ServiceError,
+    ServiceOverloadedError,
+)
+from repro.service.protocol import (
+    STATUS_OK,
+    STATUS_REJECTED,
+    ServiceRequest,
+    ServiceResponse,
+    make_channel,
+)
+
+
+class ServiceClient:
+    """One connection to an :class:`~repro.service.server.EncryptedSearchService`."""
+
+    def __init__(self, host: str, port: int, timeout: Optional[float] = None):
+        """``timeout`` bounds each blocking :meth:`call` (None = wait
+        forever); pipelined futures apply it at ``result()`` time."""
+        self._timeout = timeout
+        sock = socket.create_connection((host, port))
+        self._channel = make_channel(sock)
+        self._channel.send_hello()
+        self._channel.recv_hello("service")
+        self._send_lock = threading.Lock()
+        self._pending_lock = threading.Lock()
+        self._pending: Dict[int, "Future[ServiceResponse]"] = {}
+        self._next_id = 0
+        self._closed = False
+        self._receiver = threading.Thread(
+            target=self._receive_loop, name="svc-client-recv", daemon=True
+        )
+        self._receiver.start()
+
+    # -- request issue ------------------------------------------------------------
+    def submit(self, tenant: str, op: str, payload: Tuple = ()) -> "Future[object]":
+        """Send one request without waiting; the future resolves to the
+        op's result (or raises the mapped service exception)."""
+        future: "Future[object]" = Future()
+        with self._send_lock:
+            if self._closed:
+                raise ServiceClosedError("client is closed")
+            request_id = self._next_id
+            self._next_id += 1
+            with self._pending_lock:
+                self._pending[request_id] = future
+            try:
+                self._channel.send_message(
+                    ServiceRequest(
+                        request_id=request_id, tenant=tenant, op=op,
+                        payload=tuple(payload),
+                    )
+                )
+            except Exception as exc:
+                with self._pending_lock:
+                    self._pending.pop(request_id, None)
+                raise ServiceClosedError(
+                    f"service connection failed while sending: {exc}"
+                ) from exc
+        return future
+
+    def call(self, tenant: str, op: str, payload: Tuple = ()) -> object:
+        """Send one request and block for its result."""
+        return self.submit(tenant, op, payload).result(timeout=self._timeout)
+
+    # -- convenience wrappers -----------------------------------------------------
+    def ping(self, tenant: str) -> object:
+        return self.call(tenant, "ping")
+
+    def query(self, tenant: str, attribute: str, value: object) -> object:
+        return self.call(tenant, "query", (attribute, value))
+
+    def insert(self, tenant: str, values: Dict[str, object]) -> None:
+        self.call(tenant, "insert", (dict(values),))
+
+    def stats(self, tenant: str) -> object:
+        return self.call(tenant, "stats")
+
+    # -- response plumbing --------------------------------------------------------
+    def _receive_loop(self) -> None:
+        while True:
+            try:
+                message = self._channel.recv_message()
+            except (EOFError, OSError, ValueError):
+                self._fail_pending(
+                    ServiceClosedError("service connection closed")
+                )
+                return
+            if not isinstance(message, ServiceResponse):
+                continue  # protocol noise; nothing to resolve
+            with self._pending_lock:
+                future = self._pending.pop(message.request_id, None)
+            if future is None:
+                continue  # duplicate or post-close response
+            if message.status == STATUS_OK:
+                future.set_result(message.result)
+            elif message.status == STATUS_REJECTED:
+                future.set_exception(
+                    ServiceOverloadedError(message.error or "request rejected")
+                )
+            else:
+                future.set_exception(self._map_error(message))
+
+    @staticmethod
+    def _map_error(message: ServiceResponse) -> Exception:
+        """Re-raise the server's exception class when it is a known one."""
+        exc_cls = getattr(exceptions, message.error_type or "", None)
+        if isinstance(exc_cls, type) and issubclass(exc_cls, exceptions.ReproError):
+            return exc_cls(message.error or "request failed")
+        return ServiceError(
+            f"{message.error_type or 'ServiceError'}: "
+            f"{message.error or 'request failed'}"
+        )
+
+    def _fail_pending(self, error: Exception) -> None:
+        with self._pending_lock:
+            pending = list(self._pending.values())
+            self._pending.clear()
+        for future in pending:
+            if not future.done():
+                future.set_exception(error)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        with self._send_lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._channel.close()
+        self._receiver.join(timeout=5.0)
+        self._fail_pending(ServiceClosedError("client closed"))
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.close()

@@ -1,0 +1,155 @@
+"""Wire protocol of the encrypted-search service.
+
+The service speaks the *same* frame protocol as the process-member worker
+pipe — :class:`~repro.cloud.process_member.FrameChannel`'s length-prefixed,
+chunked pickle-5 framing, hello handshake included — over a TCP socket
+instead of a multiprocessing pipe.  :class:`SocketConnection` adapts a
+connected socket to the small ``Connection`` surface the channel consumes
+(``send_bytes`` / ``recv_bytes`` / ``recv_bytes_into`` / ``poll`` /
+``close``), so the framing, chunking, out-of-band buffer handling, and
+version negotiation are shared with the fleet's RPC path rather than
+reimplemented.
+
+On top of the frames travel two message types: :class:`ServiceRequest`
+(tenant, operation, payload, client-chosen request id) and
+:class:`ServiceResponse` (the matching id, a status, and either a result or
+an error).  Request ids let one connection pipeline many requests — the
+open-loop load harness depends on that — and responses may arrive in any
+order relative to other requests on the same connection.
+"""
+
+from __future__ import annotations
+
+import select
+import socket
+import struct
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.cloud.process_member import FrameChannel
+
+#: ops a :class:`ServiceRequest` may carry
+SERVICE_OPS: Tuple[str, ...] = ("ping", "query", "insert", "stats")
+
+#: response statuses
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_REJECTED = "rejected"
+
+#: u32 length prefix framing each discrete socket message (the socket-level
+#: analogue of one pipe message); WIRE_CHUNK_BYTES (1 MiB) fits comfortably.
+_MESSAGE_LENGTH = struct.Struct("<I")
+
+
+@dataclass(frozen=True)
+class ServiceRequest:
+    """One client request as shipped over the wire."""
+
+    request_id: int
+    tenant: str
+    op: str
+    payload: Tuple = ()
+
+
+@dataclass(frozen=True)
+class ServiceResponse:
+    """The server's reply to one :class:`ServiceRequest`.
+
+    ``status`` is ``"ok"`` (``result`` holds the op's return value),
+    ``"error"`` (``error`` holds the message, ``error_type`` the exception
+    class name), or ``"rejected"`` (the admission queue was full — an
+    explicit overload signal, not a failure of the request itself).
+    ``service_seconds`` is the server-side time from admission to
+    completion, letting clients split queueing from service time.
+    """
+
+    request_id: int
+    status: str
+    result: object = None
+    error: Optional[str] = None
+    error_type: Optional[str] = None
+    service_seconds: float = 0.0
+
+
+class SocketConnection:
+    """A ``multiprocessing.Connection``-shaped adapter over a TCP socket.
+
+    Exposes exactly what :class:`FrameChannel` consumes.  Each
+    ``send_bytes`` ships one discrete message (u32 length prefix + bytes);
+    ``recv_bytes_into`` receives the *next* message into the caller's
+    buffer at an offset and returns its length — the contract the channel's
+    ``_recv_exactly`` chunk loop relies on.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._socket = sock
+        self._closed = False
+        # latency over throughput for small frames: the channel already
+        # batches its writes into ≤1 MiB chunks, so Nagle only adds delay
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # -- sends --------------------------------------------------------------------
+    def send_bytes(self, data) -> None:
+        view = memoryview(data)
+        self._socket.sendall(_MESSAGE_LENGTH.pack(view.nbytes))
+        self._socket.sendall(view)
+
+    # -- receives -----------------------------------------------------------------
+    def _recv_exact(self, length: int, buffer=None, offset: int = 0) -> int:
+        """Read exactly ``length`` bytes into ``buffer[offset:]`` (or fresh)."""
+        if buffer is None:
+            buffer = bytearray(length)
+            offset = 0
+        with memoryview(buffer) as view:
+            target = view[offset : offset + length]
+            read = 0
+            while read < length:
+                count = self._socket.recv_into(target[read:], length - read)
+                if count == 0:
+                    raise EOFError("service connection closed by peer")
+                read += count
+        return length
+
+    def _recv_length(self) -> int:
+        prefix = bytearray(_MESSAGE_LENGTH.size)
+        self._recv_exact(_MESSAGE_LENGTH.size, prefix)
+        (length,) = _MESSAGE_LENGTH.unpack(bytes(prefix))
+        return length
+
+    def recv_bytes(self) -> bytes:
+        length = self._recv_length()
+        buffer = bytearray(length)
+        self._recv_exact(length, buffer)
+        return bytes(buffer)
+
+    def recv_bytes_into(self, buffer, offset: int = 0) -> int:
+        length = self._recv_length()
+        return self._recv_exact(length, buffer, offset)
+
+    # -- plumbing -----------------------------------------------------------------
+    def poll(self, timeout: Optional[float] = None) -> bool:
+        """Whether a message is ready to read (``select`` on the socket)."""
+        if self._closed:
+            raise OSError("connection is closed")
+        readable, _writable, _errored = select.select(
+            [self._socket], [], [], timeout
+        )
+        return bool(readable)
+
+    def close(self) -> None:
+        if not self._closed:
+            self._closed = True
+            try:
+                self._socket.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass  # peer already gone
+            self._socket.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def make_channel(sock: socket.socket) -> FrameChannel:
+    """Wrap a connected socket in the shared frame protocol."""
+    return FrameChannel(SocketConnection(sock))

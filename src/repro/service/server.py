@@ -1,0 +1,346 @@
+"""The long-lived encrypted-search server.
+
+:class:`EncryptedSearchService` turns the library into a service: a
+threaded TCP front-end speaking the shared frame protocol
+(:mod:`repro.service.protocol`), a bounded admission queue, a worker pool
+executing tenant operations, and a graceful shutdown path that drains
+in-flight work before tearing tenants down.
+
+Threading model
+---------------
+One *accept* thread turns incoming connections into per-connection *reader*
+threads.  A reader deserializes requests and admits them to a single bounded
+:class:`queue.Queue` shared by ``num_workers`` *worker* threads; the worker
+that picks a request up executes it against the tenant session and writes
+the response back on the originating connection (under that connection's
+send lock — responses from different workers may interleave on one socket,
+and request ids let the client re-associate them).
+
+Admission control
+-----------------
+The queue is bounded (``queue_depth``).  When it is full the reader does
+NOT block — it immediately sends a ``"rejected"`` response.  This is the
+service's backpressure mechanism: past saturation, extra offered load turns
+into explicit rejections (clients see
+:class:`~repro.exceptions.ServiceOverloadedError` and may back off) instead
+of unbounded queueing latency.  An unbounded queue would keep accepting
+work it cannot serve, pushing p99 latency toward the length of the backlog;
+a bounded one keeps served-request latency within queue_depth × service
+time.
+
+Shutdown
+--------
+``stop(drain=True)`` first stops accepting connections and admitting
+requests, then waits (up to ``drain_timeout``) for every already-admitted
+request to complete and its response to be flushed, and only then stops the
+workers, closes client connections, and closes every tenant (which in turn
+closes fleets, worker processes, and storage files).  ``drain=False``
+discards the backlog instead of serving it.
+"""
+
+from __future__ import annotations
+
+import queue
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from repro.cloud.process_member import FrameChannel
+from repro.exceptions import ServiceClosedError
+from repro.service.protocol import (
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_REJECTED,
+    ServiceRequest,
+    ServiceResponse,
+    make_channel,
+)
+from repro.service.tenants import TenantRegistry
+
+
+class _ServiceConnection:
+    """One client connection: a frame channel plus a send lock.
+
+    Workers finishing out of order share the socket, so every outbound
+    message goes through :meth:`send`, which serializes writes and swallows
+    transport errors (a client that hung up no longer cares about its
+    responses; the server must not die on its behalf).
+    """
+
+    def __init__(self, channel: FrameChannel):
+        self.channel = channel
+        self._send_lock = threading.Lock()
+
+    def send(self, response: ServiceResponse) -> bool:
+        with self._send_lock:
+            try:
+                self.channel.send_message(response)
+                return True
+            except (OSError, ValueError, EOFError, BrokenPipeError):
+                return False
+
+    def close(self) -> None:
+        with self._send_lock:
+            self.channel.close()
+
+
+class EncryptedSearchService:
+    """A multi-tenant encrypted-search server over TCP."""
+
+    def __init__(
+        self,
+        registry: Optional[TenantRegistry] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        num_workers: int = 4,
+        queue_depth: int = 64,
+        drain_timeout: float = 30.0,
+    ):
+        """``port=0`` binds an ephemeral port (read it from :attr:`address`
+        after :meth:`start`).  ``queue_depth`` bounds admitted-but-unserved
+        requests across *all* connections; see the module docstring for why
+        it is deliberately finite."""
+        self.registry = registry if registry is not None else TenantRegistry()
+        self._host = host
+        self._port = port
+        self._num_workers = max(1, int(num_workers))
+        self._queue_depth = max(1, int(queue_depth))
+        self._drain_timeout = drain_timeout
+
+        self._queue: "queue.Queue" = queue.Queue(maxsize=self._queue_depth)
+        self._listener: Optional[socket.socket] = None
+        self._accept_thread: Optional[threading.Thread] = None
+        self._workers: List[threading.Thread] = []
+        self._readers: List[threading.Thread] = []
+        self._connections: List[_ServiceConnection] = []
+        self._conn_lock = threading.Lock()
+
+        #: in-flight accounting for the drain barrier: a request is pending
+        #: from successful admission until its response has been sent (or
+        #: dropped on a dead connection).
+        self._pending = 0
+        self._pending_cond = threading.Condition()
+
+        self._stats_lock = threading.Lock()
+        self._admitted = 0
+        self._rejected = 0
+
+        self._started = False
+        self._accepting = False
+        self._stopped = False
+        self._state_lock = threading.Lock()
+
+    # -- lifecycle ----------------------------------------------------------------
+    def start(self) -> "EncryptedSearchService":
+        with self._state_lock:
+            if self._started:
+                raise ServiceClosedError("service already started")
+            self._started = True
+            self._accepting = True
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        self._listener = listener
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="svc-accept", daemon=True
+        )
+        self._accept_thread.start()
+        for index in range(self._num_workers):
+            worker = threading.Thread(
+                target=self._worker_loop, name=f"svc-worker-{index}", daemon=True
+            )
+            worker.start()
+            self._workers.append(worker)
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The (host, port) the service is listening on."""
+        if self._listener is None:
+            raise ServiceClosedError("service is not started")
+        return self._listener.getsockname()[:2]
+
+    def stop(self, drain: bool = True) -> None:
+        """Shut down; with ``drain`` serve the admitted backlog first."""
+        with self._state_lock:
+            if self._stopped or not self._started:
+                self._stopped = True
+                return
+            self._stopped = True
+            self._accepting = False
+        # stop new connections: shutdown() (not just close()) is what wakes
+        # a thread already blocked in accept() — a blocked accept holds a
+        # kernel reference that keeps a merely-closed socket listening
+        if self._listener is not None:
+            try:
+                self._listener.shutdown(socket.SHUT_RDWR)
+            except OSError:
+                pass
+            try:
+                self._listener.close()
+            except OSError:
+                pass
+        if drain:
+            deadline = time.monotonic() + self._drain_timeout
+            with self._pending_cond:
+                while self._pending > 0:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break  # drain timed out; abandon the stragglers
+                    self._pending_cond.wait(remaining)
+        else:
+            # discard the backlog: nobody will be told, but every
+            # connection is about to be closed anyway
+            while True:
+                try:
+                    self._queue.get_nowait()
+                    self._finish_request()
+                except queue.Empty:
+                    break
+        for _ in self._workers:
+            self._queue.put(None)
+        for worker in self._workers:
+            worker.join(timeout=self._drain_timeout)
+        with self._conn_lock:
+            connections = list(self._connections)
+        for connection in connections:
+            connection.close()
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for reader in self._readers:
+            reader.join(timeout=5.0)
+        self.registry.close_all()
+
+    def __enter__(self) -> "EncryptedSearchService":
+        return self.start() if not self._started else self
+
+    def __exit__(self, *_exc_info) -> None:
+        self.stop()
+
+    # -- stats --------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        with self._stats_lock:
+            admitted, rejected = self._admitted, self._rejected
+        with self._pending_cond:
+            pending = self._pending
+        return {"admitted": admitted, "rejected": rejected, "pending": pending}
+
+    # -- accept / read ------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        while self._accepting:
+            try:
+                client_socket, _addr = self._listener.accept()
+            except OSError:
+                return  # listener closed: shutdown
+            if not self._accepting:  # raced with stop(): refuse, don't serve
+                client_socket.close()
+                return
+            channel = make_channel(client_socket)
+            try:
+                channel.recv_hello("service client")
+                channel.send_hello()
+            except Exception:
+                channel.close()
+                continue
+            connection = _ServiceConnection(channel)
+            with self._conn_lock:
+                self._connections.append(connection)
+            reader = threading.Thread(
+                target=self._reader_loop, args=(connection,),
+                name="svc-reader", daemon=True,
+            )
+            reader.start()
+            self._readers.append(reader)
+
+    def _reader_loop(self, connection: _ServiceConnection) -> None:
+        while True:
+            try:
+                message = connection.channel.recv_message()
+            except (EOFError, OSError, ValueError):
+                return  # client hung up (or shutdown closed the socket)
+            if not isinstance(message, ServiceRequest):
+                connection.send(
+                    ServiceResponse(
+                        request_id=getattr(message, "request_id", -1),
+                        status=STATUS_ERROR,
+                        error=f"expected a ServiceRequest, got {type(message).__name__}",
+                        error_type="ServiceError",
+                    )
+                )
+                continue
+            self._admit(message, connection)
+
+    def _admit(self, request: ServiceRequest, connection: _ServiceConnection) -> None:
+        if not self._accepting:
+            connection.send(
+                ServiceResponse(
+                    request_id=request.request_id,
+                    status=STATUS_ERROR,
+                    error="service is shutting down",
+                    error_type="ServiceClosedError",
+                )
+            )
+            return
+        # claim the pending slot BEFORE the put: a worker may finish the
+        # request between put_nowait and a later increment, and the drain
+        # barrier must never observe pending == 0 with work still queued
+        self._begin_request()
+        try:
+            self._queue.put_nowait((request, connection))
+        except queue.Full:
+            self._finish_request()
+            with self._stats_lock:
+                self._rejected += 1
+            connection.send(
+                ServiceResponse(
+                    request_id=request.request_id,
+                    status=STATUS_REJECTED,
+                    error="admission queue is full",
+                    error_type="ServiceOverloadedError",
+                )
+            )
+            return
+        with self._stats_lock:
+            self._admitted += 1
+
+    # -- execution ----------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is None:
+                return
+            request, connection = item
+            started = time.perf_counter()
+            try:
+                session = self.registry.get(request.tenant)
+                result = session.execute(request.op, request.payload)
+                response = ServiceResponse(
+                    request_id=request.request_id,
+                    status=STATUS_OK,
+                    result=result,
+                    service_seconds=time.perf_counter() - started,
+                )
+            except Exception as exc:  # every failure becomes a response
+                response = ServiceResponse(
+                    request_id=request.request_id,
+                    status=STATUS_ERROR,
+                    error=str(exc),
+                    error_type=type(exc).__name__,
+                    service_seconds=time.perf_counter() - started,
+                )
+            connection.send(response)
+            self._finish_request()
+
+    # -- pending accounting -------------------------------------------------------
+    def _begin_request(self) -> None:
+        with self._pending_cond:
+            self._pending += 1
+
+    def _finish_request(self) -> None:
+        with self._pending_cond:
+            self._pending -= 1
+            if self._pending <= 0:
+                self._pending_cond.notify_all()

@@ -1,0 +1,176 @@
+"""Tenant sessions: one keystore, one owner, one fleet per tenant.
+
+The service is multi-tenant in the strongest sense the library supports:
+each tenant gets its *own* :class:`~repro.owner.keystore.KeyStore` (keys are
+never shared across tenants), its own :class:`~repro.owner.db_owner.DBOwner`
+(and therefore its own cloud servers and, when configured, its own sharded
+fleet), and its own engine caches.  Nothing cloud-side is shared, so one
+tenant's adversarial view never contains another tenant's tokens — the
+multi-tenant analogue of the paper's non-collusion placement rules.
+
+:class:`TenantRegistry` owns the name → session map.  Sessions are either
+*provisioned* (the registry builds the owner from a relation and policy and
+outsources the requested attributes) or *registered* (tests and benchmarks
+hand in a pre-built owner).  :class:`TenantSession` is the execution target
+a service worker dispatches a request to; the heavy lifting — engine
+locking, cache coherence — lives in the owner/engine layer, so a session
+only adds request dispatch and served/error accounting.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.crypto.base import EncryptedSearchScheme
+from repro.data.partition import SensitivityPolicy
+from repro.data.relation import Relation
+from repro.exceptions import ServiceClosedError, ServiceError, UnknownTenantError
+from repro.owner.db_owner import DBOwner
+from repro.owner.keystore import KeyStore
+
+
+class TenantSession:
+    """One tenant's live state inside the service."""
+
+    def __init__(self, name: str, owner: DBOwner):
+        self.name = name
+        self.owner = owner
+        #: guards only the session's own counters; data-path safety comes
+        #: from the owner's and engines' locks, so two queries against
+        #: different attributes of one tenant may overlap.
+        self._stats_lock = threading.Lock()
+        self._served = 0
+        self._errors = 0
+        self._closed = False
+
+    # -- request dispatch ---------------------------------------------------------
+    def execute(self, op: str, payload: Tuple) -> object:
+        """Run one operation and return its picklable result.
+
+        Raises :class:`ServiceError` (or a subclass) on malformed requests;
+        domain errors (:class:`~repro.exceptions.ReproError`) propagate and
+        are mapped to error responses by the server loop.
+        """
+        if self._closed:
+            raise ServiceClosedError(f"tenant {self.name!r} is closed")
+        try:
+            result = self._dispatch(op, payload)
+        except Exception:
+            with self._stats_lock:
+                self._errors += 1
+            raise
+        with self._stats_lock:
+            self._served += 1
+        return result
+
+    def _dispatch(self, op: str, payload: Tuple) -> object:
+        if op == "ping":
+            return "pong"
+        if op == "query":
+            attribute, value = self._expect(payload, 2, "query(attribute, value)")
+            rows = self.owner.query(attribute, value)
+            return [(row.rid, dict(row.values)) for row in rows]
+        if op == "insert":
+            (values,) = self._expect(payload, 1, "insert(values)")
+            self.owner.insert(dict(values))
+            return None
+        if op == "stats":
+            return self.stats()
+        raise ServiceError(f"unknown op {op!r}")
+
+    @staticmethod
+    def _expect(payload: Tuple, arity: int, shape: str) -> Tuple:
+        if not isinstance(payload, tuple) or len(payload) != arity:
+            raise ServiceError(f"malformed payload; expected {shape}")
+        return payload
+
+    # -- accounting ---------------------------------------------------------------
+    def stats(self) -> Dict[str, object]:
+        with self._stats_lock:
+            return {
+                "tenant": self.name,
+                "served": self._served,
+                "errors": self._errors,
+                "attributes": list(self.owner.searchable_attributes()),
+            }
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close(self) -> None:
+        """Refuse new work and release the tenant's cloud-side resources."""
+        self._closed = True
+        self.owner.close()
+
+
+class TenantRegistry:
+    """The service's name → :class:`TenantSession` map."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._sessions: Dict[str, TenantSession] = {}
+        self._closed = False
+
+    # -- population ---------------------------------------------------------------
+    def provision(
+        self,
+        name: str,
+        relation: Relation,
+        policy: SensitivityPolicy,
+        attributes: Iterable[str] = (),
+        scheme_factory: Optional[Callable[[], EncryptedSearchScheme]] = None,
+        **owner_kwargs,
+    ) -> TenantSession:
+        """Build a fully-isolated tenant and outsource its attributes.
+
+        A fresh :class:`KeyStore` is always created — tenants never share
+        keys.  ``owner_kwargs`` pass through to :class:`DBOwner` (e.g.
+        ``num_clouds``, ``storage_backend``, ``permutation_seed``).
+        """
+        owner = DBOwner(
+            relation,
+            policy,
+            keystore=KeyStore(),
+            scheme_factory=scheme_factory,
+            **owner_kwargs,
+        )
+        for attribute in attributes:
+            owner.outsource(attribute)
+        return self.register_session(name, owner)
+
+    def register_session(self, name: str, owner: DBOwner) -> TenantSession:
+        """Adopt a pre-built owner as tenant ``name`` (tests, benchmarks)."""
+        session = TenantSession(name, owner)
+        with self._lock:
+            if self._closed:
+                raise ServiceClosedError("tenant registry is closed")
+            if name in self._sessions:
+                raise ServiceError(f"tenant {name!r} is already registered")
+            self._sessions[name] = session
+        return session
+
+    # -- lookup -------------------------------------------------------------------
+    def get(self, name: str) -> TenantSession:
+        with self._lock:
+            try:
+                return self._sessions[name]
+            except KeyError:
+                raise UnknownTenantError(
+                    f"tenant {name!r} has not been provisioned"
+                ) from None
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._sessions)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._sessions)
+
+    # -- lifecycle ----------------------------------------------------------------
+    def close_all(self) -> None:
+        """Close every session (idempotent); called by service shutdown."""
+        with self._lock:
+            self._closed = True
+            sessions = list(self._sessions.values())
+        for session in sessions:
+            session.close()

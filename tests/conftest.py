@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import threading
 import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
@@ -244,6 +245,62 @@ class ExecutionParityHarness:
         workload = list(workload) if workload is not None else self.workload()
         return {placement: self.run(placement, workload) for placement in self.PLACEMENTS}
 
+    def run_concurrent(
+        self, placement: str, workload: Sequence[object], num_clients: int = 4
+    ) -> StrategyRun:
+        """Replay ``workload`` from ``num_clients`` threads over ONE engine.
+
+        Client ``i`` executes the round-robin slice ``workload[i::n]``; the
+        per-query outcomes are reassembled into original workload order, so
+        the returned :class:`StrategyRun` is directly comparable to a
+        single-threaded :meth:`run` of the same placement.  All clients
+        share one engine (and its cloud/fleet) — exactly the service
+        layer's shape, where concurrent sessions hit one tenant — so this
+        is the regression surface for the engine/server/fleet locking: any
+        unsynchronized cache mutation shows up as divergent results, views,
+        or statistics.
+        """
+        engine = self.make_engine(sharded=(placement == "sharded"))
+        workload = list(workload)
+        slices = [workload[i::num_clients] for i in range(num_clients)]
+        outcomes: List[Optional[List[Tuple[List, ExecutionTrace]]]] = (
+            [None] * num_clients
+        )
+        errors: List[BaseException] = []
+        barrier = threading.Barrier(num_clients)
+
+        def client(index: int) -> None:
+            try:
+                barrier.wait()  # maximize interleaving pressure
+                outcomes[index] = engine.execute_workload_with_rows(
+                    slices[index], placement=placement
+                )
+            except BaseException as exc:  # surfaced after join
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=client, args=(index,), daemon=True)
+            for index in range(num_clients)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        if errors:
+            raise errors[0]
+        merged: List[Optional[Tuple[List, ExecutionTrace]]] = [None] * len(workload)
+        for index, outcome in enumerate(outcomes):
+            assert outcome is not None
+            for position, pair in enumerate(outcome):
+                merged[index + position * num_clients] = pair
+        assert all(pair is not None for pair in merged)
+        return StrategyRun(
+            placement=placement,
+            engine=engine,
+            result_rids=[sorted(row.rid for row in rows) for rows, _trace in merged],
+            traces=[trace for _rows, trace in merged],
+        )
+
     # -- per-query view reconstruction ---------------------------------------
     def sharded_view_pairs(
         self, run: StrategyRun, workload: Sequence[object]
@@ -273,7 +330,92 @@ class ExecutionParityHarness:
             pairs.append((sensitive_view, non_sensitive_view))
         return pairs
 
+    # -- view content --------------------------------------------------------
+    @staticmethod
+    def _view_content(view: AdversarialView) -> Tuple:
+        """A view's observable content, minus the per-server query id."""
+        return (
+            view.attribute,
+            view.non_sensitive_request,
+            view.sensitive_request_size,
+            tuple(row.rid for row in view.returned_non_sensitive),
+            view.returned_sensitive_rids,
+            view.sensitive_bin_index,
+            view.non_sensitive_bin_index,
+        )
+
+    def view_content_multisets(self, run: StrategyRun) -> List[Dict[Tuple, int]]:
+        """Per-server multisets of view content, interleaving-independent.
+
+        One dict per server (the reference server alone, or each fleet
+        member), mapping view content to its occurrence count.  Concurrent
+        clients record the same views in a different *order*; the multiset
+        is the strongest observable that is invariant under reordering.
+        """
+        if run.fleet is not None:
+            servers = [run.fleet[index] for index in range(len(run.fleet))]
+        else:
+            servers = [run.cloud]
+        multisets: List[Dict[Tuple, int]] = []
+        for server in servers:
+            counts: Dict[Tuple, int] = {}
+            for view in server.view_log:
+                content = self._view_content(view)
+                counts[content] = counts.get(content, 0) + 1
+            multisets.append(counts)
+        return multisets
+
     # -- assertions ----------------------------------------------------------
+    def assert_concurrent_parity(
+        self, reference: StrategyRun, concurrent: StrategyRun
+    ) -> None:
+        """Concurrent replay is observationally identical to single-threaded.
+
+        Results are compared per original workload position (exact, not
+        just as a multiset — reassembly restores order); traces match
+        field-for-field; per-server adversarial views match as multisets
+        (order is the one thing interleaving may legitimately permute); and
+        statistics aggregate to the same totals.
+        """
+        assert concurrent.result_rids == reference.result_rids
+        assert len(concurrent.traces) == len(reference.traces)
+        for ours, theirs in zip(concurrent.traces, reference.traces):
+            assert ours.query == theirs.query
+            assert ours.binned == theirs.binned
+            assert ours.sensitive_values_requested == theirs.sensitive_values_requested
+            assert (
+                ours.non_sensitive_values_requested
+                == theirs.non_sensitive_values_requested
+            )
+            assert ours.encrypted_rows_returned == theirs.encrypted_rows_returned
+            assert (
+                ours.non_sensitive_rows_returned == theirs.non_sensitive_rows_returned
+            )
+            assert ours.rows_after_merge == theirs.rows_after_merge
+            assert ours.transfer_seconds == pytest.approx(theirs.transfer_seconds)
+        assert self.view_content_multisets(concurrent) == self.view_content_multisets(
+            reference
+        )
+        if reference.fleet is not None and concurrent.fleet is not None:
+            for field_name in (
+                "queries_served",
+                "sensitive_tokens_processed",
+                "sensitive_rows_returned",
+                "non_sensitive_rows_returned",
+                "non_sensitive_probes",
+            ):
+                assert concurrent.fleet.aggregate_stat(field_name) == (
+                    reference.fleet.aggregate_stat(field_name)
+                ), field_name
+            assert concurrent.fleet.total_transfer_tuples("download") == (
+                reference.fleet.total_transfer_tuples("download")
+            )
+        else:
+            assert concurrent.cloud.stats == reference.cloud.stats
+            assert concurrent.cloud.network.total_tuples("download") == (
+                reference.cloud.network.total_tuples("download")
+            )
+
     def assert_identical_results(self, runs: Dict[str, StrategyRun]) -> None:
         reference = runs["sequential"]
         for placement, run in runs.items():
@@ -563,18 +705,7 @@ class FaultInjectionHarness(ExecutionParityHarness):
         )
 
     # -- view reconstruction ---------------------------------------------------
-    @staticmethod
-    def _view_content(view: AdversarialView) -> Tuple:
-        """A view's observable content, minus the per-server query id."""
-        return (
-            view.attribute,
-            view.non_sensitive_request,
-            view.sensitive_request_size,
-            tuple(row.rid for row in view.returned_non_sensitive),
-            view.returned_sensitive_rids,
-            view.sensitive_bin_index,
-            view.non_sensitive_bin_index,
-        )
+    # (``_view_content`` is inherited from :class:`ExecutionParityHarness`.)
 
     def half_view_contents(
         self, run: StrategyRun

@@ -1,0 +1,94 @@
+"""Concurrent execution parity: N clients replaying a trace vs sequential.
+
+The service layer multiplexes many client connections onto shared engines,
+so the parity claim gains a third axis: not just *how* a workload is placed
+(sequential / batched / sharded) but *who* drives it — one thread or many.
+These tests pin the concurrency contract the locking sweep establishes:
+N concurrent clients replaying a trace against ONE engine produce the same
+per-query results, field-identical traces, the same per-server adversarial
+view multisets, and the same aggregated per-member statistics as a single
+sequential client.  Before the engine/server/fleet locks, concurrent
+clients corrupted the owner-side caches (token, interned-request, plaintext
+bin) and the per-server observation logs; any regression here reproduces as
+a parity failure.
+"""
+
+import pytest
+
+from repro.cloud.process_member import process_backend_available
+from repro.crypto.arx_index import ArxIndexScheme
+from repro.crypto.deterministic import DeterministicScheme
+from repro.crypto.nondeterministic import NonDeterministicScheme
+from repro.crypto.searchable import SSEScheme
+
+SCHEMES = {
+    "deterministic": DeterministicScheme,
+    "arx-index": ArxIndexScheme,
+    "non-deterministic": NonDeterministicScheme,
+    "sse": SSEScheme,
+}
+
+pytestmark = pytest.mark.multicloud
+
+
+class TestConcurrentParity:
+    """Thread-backed members: every scheme, batched and sharded placement."""
+
+    @pytest.mark.parametrize("scheme_name", sorted(SCHEMES))
+    @pytest.mark.parametrize("placement", ["batched", "sharded"])
+    def test_concurrent_clients_match_sequential(
+        self, parity_harness, scheme_name, placement
+    ):
+        harness = parity_harness(SCHEMES[scheme_name])
+        workload = harness.workload(repeats=2)
+        reference = harness.run(placement, workload)
+        concurrent = harness.run_concurrent(placement, workload, num_clients=4)
+        harness.assert_concurrent_parity(reference, concurrent)
+
+    def test_concurrent_sequential_placement_matches(self, parity_harness):
+        """Per-query (unbatched) execution from many threads also agrees."""
+        harness = parity_harness(DeterministicScheme)
+        workload = harness.workload(repeats=2)
+        reference = harness.run("sequential", workload)
+        concurrent = harness.run_concurrent("sequential", workload, num_clients=4)
+        harness.assert_concurrent_parity(reference, concurrent)
+
+    def test_more_clients_than_queries(self, parity_harness):
+        """Degenerate split: some clients get empty slices; still exact."""
+        harness = parity_harness(NonDeterministicScheme)
+        workload = harness.workload(repeats=1)[:3]
+        reference = harness.run("batched", workload)
+        concurrent = harness.run_concurrent("batched", workload, num_clients=8)
+        harness.assert_concurrent_parity(reference, concurrent)
+
+    def test_no_member_sees_both_halves_under_concurrency(self, parity_harness):
+        """Interleaved client batches never weaken non-collusion placement."""
+        harness = parity_harness(SSEScheme)
+        workload = harness.workload(repeats=2)
+        run = harness.run_concurrent("sharded", workload, num_clients=4)
+        assert run.fleet is not None
+        for server in run.fleet.servers:
+            for view in server.view_log:
+                has_cleartext = bool(view.non_sensitive_request)
+                has_tokens = view.sensitive_request_size > 0
+                assert not (has_cleartext and has_tokens), (
+                    f"{server.name} observed both halves of a request"
+                )
+
+
+@pytest.mark.skipif(
+    not process_backend_available(),
+    reason="process-backed members need the fork start method",
+)
+class TestConcurrentParityProcessBackend:
+    """Concurrent clients against real worker processes (RPC serialization)."""
+
+    @pytest.mark.parametrize("scheme_name", ["deterministic", "sse"])
+    def test_concurrent_clients_match_sequential(self, parity_harness, scheme_name):
+        harness = parity_harness(
+            SCHEMES[scheme_name], num_shards=3, member_backend="process"
+        )
+        workload = harness.workload(repeats=1)
+        reference = harness.run("sharded", workload)
+        concurrent = harness.run_concurrent("sharded", workload, num_clients=3)
+        harness.assert_concurrent_parity(reference, concurrent)

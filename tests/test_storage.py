@@ -601,3 +601,117 @@ def test_sqlite_slice_migration_restores_redundancy(fault_harness):
         traces=[trace for _rows, trace in outcome],
     )
     harness.assert_degraded_parity(healthy, restored)
+
+
+# -- threaded access ------------------------------------------------------------
+#
+# ``SQLiteBackend`` hands one connection (``check_same_thread=False``) to
+# every fleet worker thread; before the connection mutex, interleaved
+# cursors corrupted reads ("recursive use of cursors") and partially-applied
+# writes were observable.  The hammer below is the regression pin: readers
+# see every surface internally consistent while writers append and drop
+# concurrently, and the end state is exactly the sequential end state.
+
+
+class TestSQLiteThreadedAccess:
+    def test_threaded_hammer_reads_stay_consistent(self):
+        import threading
+
+        scheme = DeterministicScheme(SecretKey.from_passphrase("hammer"))
+        backend = SQLiteBackend()
+        base = synthetic_rows(30)
+        assignment = {row.rid: row.rid % 3 for row in base}
+        backend.reset(
+            base, scheme, assignment, build_tag_index=True, build_bin_store=False
+        )
+        errors = []
+        stop = threading.Event()
+        appends, batch = 10, 5
+
+        def reader():
+            try:
+                # every *single* read is a consistent snapshot: appends land
+                # in whole batches, so any observed state is one of the
+                # sequential states (mid-append row counts never show).
+                # Cross-call comparisons are deliberately avoided — the
+                # mutex serializes calls, not call *pairs*.
+                valid_counts = {
+                    len(base) + i * batch for i in range(appends + 1)
+                }
+                while not stop.is_set():
+                    rows = backend.all_rows()
+                    assert len(rows) == len({row.rid for row in rows})
+                    assert len(rows) in valid_counts
+                    counts = backend.bin_counts()
+                    assert sum(counts.values()) in valid_counts
+                    slice_rows, slice_map = backend.slice_bins([0, 1])
+                    assert {row.rid for row in slice_rows} == set(slice_map)
+            except Exception as exc:
+                errors.append(exc)
+
+        def writer():
+            try:
+                for index in range(appends):
+                    fresh = synthetic_rows(batch, start_rid=1000 + index * batch)
+                    backend.append(
+                        fresh, {row.rid: row.rid % 3 for row in fresh}
+                    )
+            except Exception as exc:
+                errors.append(exc)
+            finally:
+                stop.set()
+
+        threads = [threading.Thread(target=reader, daemon=True) for _ in range(4)]
+        threads.append(threading.Thread(target=writer, daemon=True))
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+        assert backend.row_count() == len(base) + appends * batch
+        # end state matches the same script run sequentially
+        reference = SQLiteBackend()
+        reference.reset(
+            base, scheme, assignment, build_tag_index=True, build_bin_store=False
+        )
+        for index in range(appends):
+            fresh = synthetic_rows(batch, start_rid=1000 + index * batch)
+            reference.append(fresh, {row.rid: row.rid % 3 for row in fresh})
+        assert list(backend.all_rows()) == list(reference.all_rows())
+        assert backend.bin_counts() == reference.bin_counts()
+        reference.close()
+        backend.close()
+
+    def test_concurrent_transactions_serialize(self):
+        import threading
+
+        scheme = DeterministicScheme(SecretKey.from_passphrase("txn"))
+        backend = SQLiteBackend()
+        backend.reset(
+            synthetic_rows(6), scheme, None,
+            build_tag_index=False, build_bin_store=False,
+        )
+        errors = []
+
+        def drop_and_refill(start_rid):
+            try:
+                with backend.transaction():
+                    # the whole read-modify-write is one critical section:
+                    # no other thread's statements can land inside it
+                    before = backend.row_count()
+                    backend.append(synthetic_rows(2, start_rid=start_rid), None)
+                    assert backend.row_count() == before + 2
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=drop_and_refill, args=(100 + i * 10,), daemon=True)
+            for i in range(6)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert not errors, errors
+        assert backend.row_count() == 6 + 12
+        backend.close()
