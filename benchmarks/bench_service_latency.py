@@ -54,7 +54,14 @@ import pytest
 
 from repro.data.partition import SensitivityPolicy
 from repro.exceptions import ServiceOverloadedError
-from repro.service import EncryptedSearchService, ServiceClient, TenantRegistry
+from repro.service import (
+    ChaosScenario,
+    EncryptedSearchService,
+    RetryPolicy,
+    ServiceClient,
+    TenantRegistry,
+    TokenBucket,
+)
 from repro.workloads.generator import generate_partitioned_dataset
 
 from benchmarks.helpers import print_table
@@ -274,6 +281,267 @@ def run_suite(
     return section
 
 
+# -- resilience: chaos drops + a rate-limited noisy neighbour ---------------------
+
+#: The compliant tenant's storm: every connection suffers seeded drops at
+#: this rate; the retrying client must absorb them into its tail.
+DEFAULT_DROP_RATE = 0.05
+DEFAULT_RESILIENCE_CLIENTS = 4
+DEFAULT_RESILIENCE_REQUESTS = 150
+DEFAULT_MISBEHAVING_CLIENTS = 2
+#: Well under the misbehaving clients' offered rate, so admission sheds
+#: most of their load as typed rejections.
+DEFAULT_MISBEHAVING_RATE = 25.0
+DEFAULT_MISBEHAVING_BURST = 5.0
+
+
+def _drive_compliant(
+    service: EncryptedSearchService,
+    tenant: str,
+    values: List[object],
+    clients: int,
+    requests_per_client: int,
+    drop_rate: float,
+    seed_base: int,
+) -> Dict[str, object]:
+    """Closed-loop retrying clients over a drop-injected wire.
+
+    Latency is per *logical* call, reconnects and backoff included — the
+    number a caller with a retrying client actually experiences.  The drop
+    scripts are seeded per client index, so the baseline and contended
+    phases endure the identical storm and their tails compare apples to
+    apples.
+    """
+    host, port = service.address
+    attribute = service.registry.get(tenant).owner.searchable_attributes()[0]
+    latencies_ms: List[float] = []
+    errored = 0
+    dropped = 0
+    lock = threading.Lock()
+    barrier = threading.Barrier(clients)
+    wall: List[float] = []
+
+    def client_loop(client_index: int) -> None:
+        nonlocal errored, dropped
+        rng = random.Random(seed_base * 7 + client_index)
+        scenario = ChaosScenario.seeded(
+            seed=seed_base + client_index,
+            connections=requests_per_client,
+            requests_per_connection=requests_per_client + 8,
+            rates={"drop": drop_rate},
+        )
+        client = ServiceClient(
+            host, port,
+            retry=RetryPolicy(max_attempts=8, base_delay=0.005, seed=client_index),
+            chaos=scenario,
+        )
+        local_latencies, local_errors = [], 0
+        try:
+            barrier.wait()
+            origin = time.perf_counter()
+            for _ in range(requests_per_client):
+                value = rng.choice(values)
+                started = time.perf_counter()
+                try:
+                    client.query(tenant, attribute, value)
+                    local_latencies.append((time.perf_counter() - started) * 1000.0)
+                except Exception:
+                    local_errors += 1
+            elapsed = time.perf_counter() - origin
+        finally:
+            client.close()
+        with lock:
+            latencies_ms.extend(local_latencies)
+            errored += local_errors
+            dropped += scenario.injected.get("drop", 0)
+            wall.append(elapsed)
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = max(wall) if wall else float("nan")
+    latencies_ms.sort()
+    return {
+        "clients": clients,
+        "requests": clients * requests_per_client,
+        "served": len(latencies_ms),
+        "errors": errored,
+        "injected_drops": dropped,
+        "goodput_qps": (len(latencies_ms) / elapsed) if elapsed else 0.0,
+        "p50_ms": _percentile(latencies_ms, 0.50),
+        "p95_ms": _percentile(latencies_ms, 0.95),
+        "p99_ms": _percentile(latencies_ms, 0.99),
+    }
+
+
+def _hammer_misbehaving(
+    service: EncryptedSearchService,
+    tenant: str,
+    values: List[object],
+    clients: int,
+    stop: threading.Event,
+    seed_base: int,
+) -> Dict[str, object]:
+    """Non-retrying clients offering load far above the tenant's bucket
+    until ``stop`` is set; rejections are counted, not slept on — the
+    sustained worst case for the neighbours."""
+    host, port = service.address
+    attribute = service.registry.get(tenant).owner.searchable_attributes()[0]
+    served = 0
+    shed = 0
+    errored = 0
+    latencies_ms: List[float] = []
+    lock = threading.Lock()
+
+    def client_loop(client_index: int) -> None:
+        nonlocal served, shed, errored
+        rng = random.Random(seed_base * 13 + client_index)
+        client = ServiceClient(host, port)
+        local_latencies, local_shed, local_errors = [], 0, 0
+        try:
+            while not stop.is_set():
+                value = rng.choice(values)
+                started = time.perf_counter()
+                try:
+                    client.query(tenant, attribute, value)
+                    local_latencies.append(
+                        (time.perf_counter() - started) * 1000.0
+                    )
+                except ServiceOverloadedError:
+                    local_shed += 1  # includes the rate-limited subtype
+                except Exception:
+                    local_errors += 1
+        finally:
+            client.close()
+        with lock:
+            latencies_ms.extend(local_latencies)
+            served += len(local_latencies)
+            shed += local_shed
+            errored += local_errors
+
+    threads = [
+        threading.Thread(target=client_loop, args=(index,), daemon=True)
+        for index in range(clients)
+    ]
+    started_at = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    stop.wait()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - started_at
+    latencies_ms.sort()
+    return {
+        "clients": clients,
+        "served": served,
+        "shed": shed,
+        "errors": errored,
+        "goodput_qps": (served / elapsed) if elapsed else 0.0,
+        "p50_ms": _percentile(latencies_ms, 0.50),
+        "p95_ms": _percentile(latencies_ms, 0.95),
+        "p99_ms": _percentile(latencies_ms, 0.99),
+    }
+
+
+def run_resilience(
+    clients: int = DEFAULT_RESILIENCE_CLIENTS,
+    requests_per_client: int = DEFAULT_RESILIENCE_REQUESTS,
+    drop_rate: float = DEFAULT_DROP_RATE,
+    misbehaving_clients: int = DEFAULT_MISBEHAVING_CLIENTS,
+    num_values: int = DEFAULT_NUM_VALUES,
+    tuples_per_value: int = DEFAULT_TUPLES_PER_VALUE,
+    num_workers: int = DEFAULT_NUM_WORKERS,
+    queue_depth: int = DEFAULT_QUEUE_DEPTH,
+    out_path: Optional[Path] = OUTPUT_PATH,
+) -> Dict[str, object]:
+    """Tail latency and goodput when the wire and the neighbours misbehave.
+
+    Two phases over one service, identical drop storms (seeded per client):
+
+    * **baseline** — the compliant tenant alone, 5% connection drops,
+      retrying clients;
+    * **contended** — the same, while a *misbehaving* tenant (token bucket
+      far below its offered load) hammers continuously.
+
+    The comparison isolates the noisy neighbour's impact: per-tenant rate
+    limiting must keep the compliant tenant's p99 within 2x its baseline.
+    """
+    service, values_by_tenant = build_service(
+        num_values=num_values,
+        tuples_per_value=tuples_per_value,
+        num_workers=num_workers,
+        queue_depth=queue_depth,
+    )
+    compliant, misbehaving = TENANT_NAMES
+    service.registry.set_rate_limit(
+        misbehaving,
+        TokenBucket(rate=DEFAULT_MISBEHAVING_RATE, burst=DEFAULT_MISBEHAVING_BURST),
+    )
+    try:
+        baseline = _drive_compliant(
+            service, compliant, values_by_tenant[compliant],
+            clients, requests_per_client, drop_rate, seed_base=500,
+        )
+        stop = threading.Event()
+        hammer_result: List[Dict[str, object]] = []
+        hammer = threading.Thread(
+            target=lambda: hammer_result.append(
+                _hammer_misbehaving(
+                    service, misbehaving, values_by_tenant[misbehaving],
+                    misbehaving_clients, stop, seed_base=900,
+                )
+            ),
+            daemon=True,
+        )
+        hammer.start()
+        try:
+            contended = _drive_compliant(
+                service, compliant, values_by_tenant[compliant],
+                clients, requests_per_client, drop_rate, seed_base=500,
+            )
+        finally:
+            stop.set()
+            hammer.join()
+        stats = service.stats()
+    finally:
+        service.stop()
+    baseline_p99 = baseline["p99_ms"]
+    contended_p99 = contended["p99_ms"]
+    section = {
+        "description": (
+            "closed-loop retrying clients under seeded 5% connection drops; "
+            "latency per logical call (reconnect + backoff included); the "
+            "contended phase adds a rate-limited misbehaving tenant "
+            "hammering continuously — per-tenant token buckets must keep "
+            "the compliant tenant's p99 within 2x its baseline"
+        ),
+        "drop_rate": drop_rate,
+        "misbehaving_rate_limit": {
+            "rate": DEFAULT_MISBEHAVING_RATE,
+            "burst": DEFAULT_MISBEHAVING_BURST,
+        },
+        "num_workers": num_workers,
+        "queue_depth": queue_depth,
+        "baseline": baseline,
+        "contended": contended,
+        "misbehaving": hammer_result[0] if hammer_result else {},
+        "rate_limited_total": stats["rate_limited"],
+        "p99_degradation_x": (
+            (contended_p99 / baseline_p99) if baseline_p99 else float("nan")
+        ),
+    }
+    if out_path is not None:
+        trajectory = json.loads(out_path.read_text()) if out_path.exists() else {}
+        trajectory["service_resilience"] = section
+        out_path.write_text(json.dumps(trajectory, indent=2) + "\n")
+    return section
+
+
 # -- acceptance ------------------------------------------------------------------
 
 
@@ -309,6 +577,32 @@ def test_service_meets_latency_slos():
     assert surge["served"] > 0, "admission control starved the surge entirely"
 
 
+@pytest.mark.perf
+@pytest.mark.slowperf
+def test_misbehaving_tenant_cannot_wreck_the_compliant_tail():
+    """The resilience contract, end to end:
+
+    * the drop storm actually fired, in both phases, and the retrying
+      clients absorbed every drop (zero errors, full goodput);
+    * the rate limit actually bit (the misbehaving tenant was shed);
+    * the noisy neighbour degrades the compliant tenant's p99 by at most
+      2x — per-tenant admission keeps the storm *its* problem.
+    """
+    section = run_resilience(out_path=OUTPUT_PATH)
+    baseline, contended = section["baseline"], section["contended"]
+    for phase in (baseline, contended):
+        assert phase["errors"] == 0, phase
+        assert phase["served"] == phase["requests"], phase
+        assert phase["injected_drops"] > 0, "the storm never fired"
+    misbehaving = section["misbehaving"]
+    assert misbehaving["shed"] > 0, "the rate limit never bit"
+    assert misbehaving["errors"] == 0, misbehaving
+    assert contended["p99_ms"] <= 2.0 * baseline["p99_ms"], (
+        "misbehaving tenant degraded the compliant p99 "
+        f"{section['p99_degradation_x']:.2f}x (limit 2x): {section}"
+    )
+
+
 def main() -> None:
     section = run_suite()
     print_table(
@@ -328,6 +622,35 @@ def main() -> None:
             ]
             for row in section["levels"]
         ],
+    )
+    resilience = run_resilience()
+    rows = [
+        ["baseline (drops only)", resilience["baseline"]],
+        ["contended (+noisy tenant)", resilience["contended"]],
+    ]
+    print_table(
+        "service resilience: 5% drops + rate-limited noisy neighbour",
+        ["phase", "served", "errors", "drops", "goodput qps",
+         "p50 ms", "p95 ms", "p99 ms"],
+        [
+            [
+                label,
+                row["served"],
+                row["errors"],
+                row["injected_drops"],
+                f"{row['goodput_qps']:.1f}",
+                f"{row['p50_ms']:.2f}",
+                f"{row['p95_ms']:.2f}",
+                f"{row['p99_ms']:.2f}",
+            ]
+            for label, row in rows
+        ],
+    )
+    misbehaving = resilience["misbehaving"]
+    print(
+        f"\nmisbehaving tenant: served={misbehaving['served']} "
+        f"shed={misbehaving['shed']} goodput={misbehaving['goodput_qps']:.1f} qps; "
+        f"compliant p99 degradation {resilience['p99_degradation_x']:.2f}x (limit 2x)"
     )
     print(f"\ntrajectory updated at {OUTPUT_PATH}")
 

@@ -89,7 +89,12 @@ from repro.cloud.server import (
 )
 from repro.crypto.base import EncryptedSearchScheme
 from repro.data.relation import Row
-from repro.exceptions import MemberFailure, MemberTimeout, ProcessMemberError
+from repro.exceptions import (
+    FrameTooLargeError,
+    MemberFailure,
+    MemberTimeout,
+    ProcessMemberError,
+)
 
 _SHUTDOWN = None  # sentinel message ending the worker loop
 
@@ -171,11 +176,20 @@ class FrameChannel:
     ``bytes_sent`` / ``bytes_received`` count every transported byte
     (headers included) and only ever grow — proxies baseline them to expose
     per-epoch deltas as ``network.wire_bytes``.
+
+    ``max_frame_bytes`` (``None`` = unlimited, the right default for the
+    trusted in-process pipe) caps what one frame may carry, *enforced
+    before allocation on receive and before the first byte on send* — an
+    adversarial or corrupted header announcing a huge payload raises
+    :class:`~repro.exceptions.FrameTooLargeError` instead of committing
+    the receiver to the allocation; an oversized outbound message fails
+    cleanly with no partial frame on the wire.  The service wire sets it.
     """
 
-    def __init__(self, connection):
+    def __init__(self, connection, max_frame_bytes: Optional[int] = None):
         self._connection = connection
         self._scratch = bytearray(WIRE_CHUNK_BYTES)
+        self.max_frame_bytes = max_frame_bytes
         self.bytes_sent = 0
         self.bytes_received = 0
 
@@ -197,6 +211,15 @@ class FrameChannel:
             obj, protocol=WIRE_PICKLE_PROTOCOL, buffer_callback=buffers.append
         )
         raws = [buffer.raw() for buffer in buffers]
+        if self.max_frame_bytes is not None:
+            total = len(payload) + sum(raw.nbytes for raw in raws)
+            if total > self.max_frame_bytes:
+                for raw in raws:
+                    raw.release()
+                raise FrameTooLargeError(
+                    f"outbound frame of {total} bytes exceeds the "
+                    f"{self.max_frame_bytes}-byte cap; nothing was sent"
+                )
         header = bytearray(_FRAME_HEADER.pack(len(payload), len(raws)))
         for raw in raws:
             header += _BUFFER_LENGTH.pack(raw.nbytes)
@@ -233,6 +256,20 @@ class FrameChannel:
                 f"malformed wire frame header ({len(header)} bytes for "
                 f"{buffer_count} buffers, expected {expected})"
             )
+        if self.max_frame_bytes is not None:
+            announced = payload_length + sum(
+                _BUFFER_LENGTH.unpack_from(
+                    header, _FRAME_HEADER.size + position * _BUFFER_LENGTH.size
+                )[0]
+                for position in range(buffer_count)
+            )
+            if announced > self.max_frame_bytes:
+                # refuse BEFORE the allocation: a hostile length prefix
+                # must cost the peer its connection, not the host an OOM
+                raise FrameTooLargeError(
+                    f"inbound frame announces {announced} bytes, above the "
+                    f"{self.max_frame_bytes}-byte cap; refusing to allocate"
+                )
         scratch = self._scratch
         if len(scratch) < payload_length:
             self._scratch = scratch = bytearray(

@@ -124,6 +124,64 @@ class ServiceOverloadedError(ServiceError):
     """
 
 
+class TenantRateLimitedError(ServiceOverloadedError):
+    """One tenant exhausted its token bucket; only *its* request was shed.
+
+    Subclasses :class:`ServiceOverloadedError` because the client-side
+    remedy is the same (back off, retry later), but the cause is per-tenant
+    admission — the service as a whole has capacity, this tenant spent its
+    share.  Rejections are accounted on the tenant's session and surfaced
+    via the ``stats`` op, so a noisy tenant's shed load is visible without
+    touching the global admission counters.
+    """
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's client-supplied deadline expired before execution.
+
+    Requests may carry a time-to-live; a worker that dequeues an
+    already-expired request drops it *without executing* — serving work
+    whose caller has given up wastes capacity that live requests need.
+    The typed error tells the client the request was never applied, so a
+    deadline-bounded caller can safely re-issue it (dedup makes the retry
+    exactly-once for mutating ops).
+    """
+
+
+class WireProtocolError(ServiceError):
+    """The service wire itself (framing, not the request) was violated."""
+
+
+class FrameTooLargeError(WireProtocolError):
+    """A frame announced a length above the configured cap.
+
+    Raised instead of allocating the announced buffer: an adversarial (or
+    corrupted) length prefix must cost the peer its connection, not cost
+    the server an OOM.  Client-side the same cap rejects an oversized
+    outbound request before any bytes hit the socket.
+    """
+
+
+class FrameCorruptionError(WireProtocolError):
+    """A frame's CRC did not match its payload; the stream is poisoned.
+
+    After a checksum mismatch the receiver cannot trust that it is still
+    aligned on frame boundaries, so the connection is closed rather than
+    resynchronised — failing loudly is what keeps a flipped bit from
+    silently becoming a wrong answer.
+    """
+
+
+class WireTimeoutError(WireProtocolError):
+    """A read deadline expired: the peer is idle, wedged, or trickling.
+
+    Covers both the handshake/idle deadline (no first byte in time) and
+    the per-message deadline (a frame that started but never finished — the
+    slow-loris pattern).  The server reaps the connection; a resilient
+    client reconnects and replays.
+    """
+
+
 class ServiceClosedError(ServiceError):
     """The service (or this connection) is shutting down or already closed."""
 

@@ -1,0 +1,327 @@
+"""Deterministic fault injection for the service wire.
+
+The fleet's :class:`FaultInjectionHarness` (tests/conftest.py) proves that
+killing cloud members is unobservable; this module extends the same chaos
+discipline up to the client↔service boundary.  A
+:class:`ChaosConnection` / :class:`ChaosChannel` pair wraps one client
+connection and injects faults at *scripted request offsets* — no wall-clock
+randomness, no flaky probabilities at test time: a :class:`ChaosScript`
+says exactly which request on which connection suffers what, and
+:meth:`ChaosScenario.seeded` derives such scripts from a seed for
+statistical (benchmark) use.
+
+Fault kinds, and what each one proves when parity still holds:
+
+``drop``
+    The connection closes before the request is sent.  Proves the client
+    reconnects and replays, and that a replayed request is not lost.
+``truncate``
+    The frame's socket message announces its full length but only a prefix
+    of the bytes arrives before the connection closes.  Proves the server's
+    reader survives mid-frame EOF without leaking its thread or slot.
+``stall``
+    The frame pauses mid-send (slow-loris shape) and then completes.
+    Proves a *slow* client is served, not reaped, while the pause stays
+    under the server's ``message_timeout``.
+``corrupt``
+    One bit of the payload flips after the checksum was computed — exactly
+    what in-flight corruption looks like.  Proves the CRC fails loudly
+    (server reaps the poisoned stream) and the client's retry recovers.
+``duplicate``
+    The same request is delivered twice.  Proves the per-tenant dedup
+    window applies mutating ops exactly once and that double responses on
+    one request id are harmless.
+
+Every injection is counted on its script (``script.injected``), so tests
+assert the chaos actually happened — a parity suite whose faults silently
+never fired proves nothing.
+"""
+
+from __future__ import annotations
+
+import random
+import socket
+import threading
+import time
+import zlib
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.cloud.process_member import FrameChannel
+from repro.exceptions import ServiceError
+from repro.service.protocol import (
+    _MESSAGE_HEADER,
+    DEFAULT_MAX_MESSAGE_BYTES,
+    ServiceRequest,
+    SocketConnection,
+)
+
+#: The fault kinds a :class:`ChaosEvent` may carry.
+CHAOS_KINDS: Tuple[str, ...] = ("drop", "truncate", "stall", "corrupt", "duplicate")
+
+
+@dataclass(frozen=True)
+class ChaosEvent:
+    """One scripted fault: ``kind`` strikes the ``at_request``-th request
+    sent on the connection (0-based, counting every attempt including
+    replays).  ``seconds`` parameterises ``stall``, ``keep_bytes`` the
+    truncation prefix, ``copies`` the duplicate fan-out."""
+
+    kind: str
+    at_request: int
+    seconds: float = 0.02
+    keep_bytes: int = 6
+    copies: int = 2
+
+    def __post_init__(self):
+        if self.kind not in CHAOS_KINDS:
+            raise ServiceError(
+                f"unknown chaos kind {self.kind!r}; expected one of {CHAOS_KINDS}"
+            )
+
+
+class ChaosScript:
+    """The faults for ONE connection: request offset → event.
+
+    A connection-killing event (``drop``/``truncate``) ends the script
+    early by construction — the client reconnects and draws the scenario's
+    next script, so later offsets on a killed connection simply never
+    happen.  ``injected`` counts the faults that actually fired.
+    """
+
+    def __init__(self, events: Iterable[ChaosEvent] = ()):
+        self._events: Dict[int, ChaosEvent] = {}
+        for event in events:
+            if event.at_request in self._events:
+                raise ServiceError(
+                    f"two chaos events scripted at request {event.at_request}"
+                )
+            self._events[event.at_request] = event
+        self.injected: "Counter[str]" = Counter()
+
+    def event_for(self, request_index: int) -> Optional[ChaosEvent]:
+        return self._events.get(request_index)
+
+    def note(self, kind: str) -> None:
+        self.injected[kind] += 1
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+class ChaosScenario:
+    """Scripts for a client's successive connections, in dial order.
+
+    Connection *n* (the initial dial, then each chaos- or fault-driven
+    reconnect) runs under ``scripts[n]``; once the list is exhausted every
+    further connection is clean — a scenario is a finite storm, after which
+    the client must be able to finish its work.  Thread-safe: the client's
+    reconnect path may run from any thread.
+    """
+
+    def __init__(self, scripts: Sequence[ChaosScript] = ()):
+        self._scripts = list(scripts)
+        self._lock = threading.Lock()
+        self._issued: List[ChaosScript] = []
+
+    @classmethod
+    def seeded(
+        cls,
+        seed: int,
+        connections: int,
+        requests_per_connection: int,
+        rates: Dict[str, float],
+        seconds: float = 0.02,
+        keep_bytes: int = 6,
+    ) -> "ChaosScenario":
+        """Derive scripts from a seed: each request offset independently
+        draws one fault with the given per-kind probabilities (e.g.
+        ``{"drop": 0.05}`` = 5% injected connection drops).  Same seed,
+        same storm — the FaultInjectionHarness discipline."""
+        if sum(rates.values()) > 1.0:
+            raise ServiceError("chaos rates sum above 1.0")
+        rng = random.Random(seed)
+        scripts = []
+        for _connection in range(connections):
+            events = []
+            for offset in range(requests_per_connection):
+                draw = rng.random()
+                cumulative = 0.0
+                for kind in sorted(rates):
+                    cumulative += rates[kind]
+                    if draw < cumulative:
+                        events.append(
+                            ChaosEvent(
+                                kind,
+                                offset,
+                                seconds=seconds,
+                                keep_bytes=keep_bytes,
+                            )
+                        )
+                        break
+            scripts.append(ChaosScript(events))
+        return cls(scripts)
+
+    def next_script(self) -> ChaosScript:
+        with self._lock:
+            index = len(self._issued)
+            script = (
+                self._scripts[index] if index < len(self._scripts) else ChaosScript()
+            )
+            self._issued.append(script)
+            return script
+
+    @property
+    def connections_used(self) -> int:
+        with self._lock:
+            return len(self._issued)
+
+    @property
+    def injected(self) -> "Counter[str]":
+        """Aggregate fired-fault counts across every issued connection."""
+        with self._lock:
+            total: "Counter[str]" = Counter()
+            for script in self._issued:
+                total.update(script.injected)
+            return total
+
+    # -- client plumbing ----------------------------------------------------------
+    def connect(
+        self,
+        sock: socket.socket,
+        max_message_bytes: int = DEFAULT_MAX_MESSAGE_BYTES,
+    ) -> Tuple["ChaosConnection", "ChaosChannel"]:
+        """Build the fault-injected transport/channel pair for a fresh
+        connection — the hook :class:`~repro.service.client.ServiceClient`
+        calls when constructed with ``chaos=scenario``."""
+        script = self.next_script()
+        transport = ChaosConnection(sock, max_message_bytes=max_message_bytes)
+        channel = ChaosChannel(transport, script, max_frame_bytes=max_message_bytes)
+        return transport, channel
+
+
+class ChaosConnection(SocketConnection):
+    """A :class:`SocketConnection` with armable byte-level faults.
+
+    The channel above arms exactly one fault, sends, and disarms; the
+    connection implements what each fault looks like *on the socket*:
+    truncation really leaves a half-announced message behind, corruption
+    really flips a bit after the CRC was computed, a stall really parks
+    mid-message.  Receive-side behaviour is untouched — the server's
+    responses travel clean; it is the client's *sends* the storm hits.
+    """
+
+    def __init__(self, sock: socket.socket, **kwargs):
+        super().__init__(sock, **kwargs)
+        self._corrupt_sends = False
+        self._truncate_keep: Optional[int] = None
+        self._stall_seconds: Optional[float] = None
+
+    # -- arming (one-shot unless noted) -------------------------------------------
+    def arm_corrupt(self) -> None:
+        """Corrupt every outgoing socket message until :meth:`disarm`."""
+        self._corrupt_sends = True
+
+    def disarm(self) -> None:
+        self._corrupt_sends = False
+
+    def arm_truncate(self, keep_bytes: int) -> None:
+        """Next socket message: announce fully, send ``keep_bytes``, die."""
+        self._truncate_keep = max(0, int(keep_bytes))
+
+    def arm_stall(self, seconds: float) -> None:
+        """Next socket message: pause mid-payload for ``seconds``."""
+        self._stall_seconds = float(seconds)
+
+    # -- faulted sends ------------------------------------------------------------
+    def send_bytes(self, data) -> None:
+        view = memoryview(data)
+        if self._truncate_keep is not None:
+            keep = min(self._truncate_keep, view.nbytes)
+            self._truncate_keep = None
+            # honest header, dishonest body: the receiver is now owed
+            # view.nbytes bytes it will never get
+            header = _MESSAGE_HEADER.pack(view.nbytes, zlib.crc32(view))
+            self._send_all(memoryview(header))
+            if keep:
+                self._send_all(view[:keep])
+            self.close()
+            raise OSError("chaos: frame truncated mid-send, connection dropped")
+        if self._corrupt_sends:
+            # CRC of the ORIGINAL bytes, then flip one bit: exactly what
+            # in-flight corruption under a correct sender looks like
+            crc = zlib.crc32(view)
+            poisoned = bytearray(view)
+            poisoned[len(poisoned) // 2] ^= 0x01
+            header = _MESSAGE_HEADER.pack(len(poisoned), crc)
+            self._send_all(memoryview(header))
+            self._send_all(memoryview(poisoned))
+            return
+        if self._stall_seconds is not None:
+            seconds = self._stall_seconds
+            self._stall_seconds = None
+            header = _MESSAGE_HEADER.pack(view.nbytes, zlib.crc32(view))
+            self._send_all(memoryview(header))
+            half = view.nbytes // 2
+            if half:
+                self._send_all(view[:half])
+            time.sleep(seconds)
+            self._send_all(view[half:])
+            return
+        super().send_bytes(data)
+
+
+class ChaosChannel(FrameChannel):
+    """A :class:`FrameChannel` that consults a :class:`ChaosScript` on
+    every outbound :class:`ServiceRequest` (hello frames and other
+    plumbing pass through untouched — chaos strikes requests, not the
+    handshake, which has its own dedicated failure-mode tests)."""
+
+    def __init__(
+        self,
+        connection: ChaosConnection,
+        script: ChaosScript,
+        max_frame_bytes: Optional[int] = None,
+    ):
+        super().__init__(connection, max_frame_bytes=max_frame_bytes)
+        self.script = script
+        self._request_index = 0
+
+    def send_message(self, obj) -> None:
+        if not isinstance(obj, ServiceRequest):
+            return super().send_message(obj)
+        index = self._request_index
+        self._request_index += 1
+        event = self.script.event_for(index)
+        if event is None:
+            return super().send_message(obj)
+        connection: ChaosConnection = self._connection
+        if event.kind == "drop":
+            self.script.note("drop")
+            self.close()
+            raise OSError("chaos: connection dropped before send")
+        if event.kind == "duplicate":
+            self.script.note("duplicate")
+            for _copy in range(max(2, event.copies)):
+                super().send_message(obj)
+            return
+        if event.kind == "corrupt":
+            # counted before sending: the server may reap the poisoned
+            # stream (and RST us) before the frame's later messages land
+            self.script.note("corrupt")
+            connection.arm_corrupt()
+            try:
+                super().send_message(obj)
+            finally:
+                connection.disarm()
+            return
+        if event.kind == "truncate":
+            connection.arm_truncate(event.keep_bytes)
+            self.script.note("truncate")
+            super().send_message(obj)  # raises once the prefix is on the wire
+            return
+        # stall: pause mid-frame, then complete — the slow-loris shape
+        connection.arm_stall(event.seconds)
+        self.script.note("stall")
+        return super().send_message(obj)

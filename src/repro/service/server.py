@@ -9,12 +9,27 @@ in-flight work before tearing tenants down.
 Threading model
 ---------------
 One *accept* thread turns incoming connections into per-connection *reader*
-threads.  A reader deserializes requests and admits them to a single bounded
+threads.  A reader performs the hello handshake (under
+``handshake_timeout`` — a peer that connects and never speaks, or speaks
+garbage, costs one short-lived thread, never the accept loop), then
+deserializes requests and admits them to a single bounded
 :class:`queue.Queue` shared by ``num_workers`` *worker* threads; the worker
 that picks a request up executes it against the tenant session and writes
 the response back on the originating connection (under that connection's
 send lock — responses from different workers may interleave on one socket,
 and request ids let the client re-associate them).
+
+Wire hardening
+--------------
+Every connection runs with the protocol-layer deadlines: ``read_deadline``
+bounds idle waits between requests, ``message_timeout`` bounds each frame's
+completion once started (slow-loris), ``send_timeout`` bounds response
+writes to a peer that stopped reading, and ``max_frame_bytes`` caps what a
+length prefix may announce.  A violated deadline, corrupt frame (CRC), or
+oversized frame reaps the connection: the reader closes it, removes it from
+the connection table, counts the cause in :meth:`stats`, and exits — it
+never leaks its thread, and the pending-request accounting stays exact
+because workers finish their half independently (see below).
 
 Admission control
 -----------------
@@ -23,10 +38,28 @@ NOT block — it immediately sends a ``"rejected"`` response.  This is the
 service's backpressure mechanism: past saturation, extra offered load turns
 into explicit rejections (clients see
 :class:`~repro.exceptions.ServiceOverloadedError` and may back off) instead
-of unbounded queueing latency.  An unbounded queue would keep accepting
-work it cannot serve, pushing p99 latency toward the length of the backlog;
-a bounded one keeps served-request latency within queue_depth × service
-time.
+of unbounded queueing latency.  Before the shared queue, each request
+passes its tenant's :class:`~repro.service.tenants.TokenBucket` (when
+configured): a tenant over its rate gets a
+:class:`~repro.exceptions.TenantRateLimitedError`-typed rejection charged
+to *that tenant's* accounting, so a noisy tenant sheds its own load before
+it can crowd the queue every tenant shares.
+
+Deadlines and exactly-once
+--------------------------
+Requests may carry ``ttl_seconds``; a worker that dequeues a request whose
+budget expired while queued drops it *unexecuted* with a
+:class:`~repro.exceptions.DeadlineExceededError`-typed response — capacity
+goes to callers still listening.  Mutating ops from an identified client
+(``client_id`` set) pass the tenant's
+:class:`~repro.service.tenants.DedupWindow`: a replayed ``insert`` (client
+retry after connection loss, or duplicate delivery by a hostile network)
+returns the original outcome instead of applying twice.
+
+A worker always runs ``_finish_request`` — even when the response cannot
+be delivered because the connection died after admission.  Undeliverable
+responses are counted (``dropped_responses``) rather than leaked, so the
+drain barrier and ``stats()`` stay exact under arbitrary client deaths.
 
 Shutdown
 --------
@@ -47,16 +80,23 @@ import time
 from typing import Dict, List, Optional, Tuple
 
 from repro.cloud.process_member import FrameChannel
-from repro.exceptions import ServiceClosedError
+from repro.exceptions import (
+    FrameCorruptionError,
+    FrameTooLargeError,
+    ServiceClosedError,
+    WireTimeoutError,
+)
 from repro.service.protocol import (
+    DEFAULT_MAX_MESSAGE_BYTES,
+    MUTATING_OPS,
     STATUS_ERROR,
     STATUS_OK,
     STATUS_REJECTED,
     ServiceRequest,
     ServiceResponse,
-    make_channel,
+    SocketConnection,
 )
-from repro.service.tenants import TenantRegistry
+from repro.service.tenants import TenantRegistry, TenantSession
 
 
 class _ServiceConnection:
@@ -77,7 +117,10 @@ class _ServiceConnection:
             try:
                 self.channel.send_message(response)
                 return True
-            except (OSError, ValueError, EOFError, BrokenPipeError):
+            except Exception:
+                # OSError/EOFError/WireTimeoutError from the transport, but
+                # also anything pickling raises: an undeliverable response
+                # must never kill the worker that produced it
                 return False
 
     def close(self) -> None:
@@ -96,23 +139,35 @@ class EncryptedSearchService:
         num_workers: int = 4,
         queue_depth: int = 64,
         drain_timeout: float = 30.0,
+        handshake_timeout: float = 5.0,
+        read_deadline: Optional[float] = 30.0,
+        message_timeout: Optional[float] = 10.0,
+        send_timeout: Optional[float] = 10.0,
+        max_frame_bytes: int = DEFAULT_MAX_MESSAGE_BYTES,
     ):
         """``port=0`` binds an ephemeral port (read it from :attr:`address`
         after :meth:`start`).  ``queue_depth`` bounds admitted-but-unserved
-        requests across *all* connections; see the module docstring for why
-        it is deliberately finite."""
+        requests across *all* connections; the four wire knobs
+        (``handshake_timeout`` / ``read_deadline`` / ``message_timeout`` /
+        ``send_timeout``) and ``max_frame_bytes`` are the per-connection
+        hardening documented on the module."""
         self.registry = registry if registry is not None else TenantRegistry()
         self._host = host
         self._port = port
         self._num_workers = max(1, int(num_workers))
         self._queue_depth = max(1, int(queue_depth))
         self._drain_timeout = drain_timeout
+        self._handshake_timeout = handshake_timeout
+        self._read_deadline = read_deadline
+        self._message_timeout = message_timeout
+        self._send_timeout = send_timeout
+        self._max_frame_bytes = int(max_frame_bytes)
 
         self._queue: "queue.Queue" = queue.Queue(maxsize=self._queue_depth)
         self._listener: Optional[socket.socket] = None
         self._accept_thread: Optional[threading.Thread] = None
         self._workers: List[threading.Thread] = []
-        self._readers: List[threading.Thread] = []
+        self._readers: Dict[threading.Thread, None] = {}
         self._connections: List[_ServiceConnection] = []
         self._conn_lock = threading.Lock()
 
@@ -123,13 +178,27 @@ class EncryptedSearchService:
         self._pending_cond = threading.Condition()
 
         self._stats_lock = threading.Lock()
-        self._admitted = 0
-        self._rejected = 0
+        self._counters: Dict[str, int] = {
+            "admitted": 0,
+            "rejected": 0,
+            "rate_limited": 0,
+            "expired": 0,
+            "deduplicated": 0,
+            "dropped_responses": 0,
+            "handshake_failures": 0,
+            "reaped_connections": 0,
+            "corrupt_frames": 0,
+            "oversized_frames": 0,
+        }
 
         self._started = False
         self._accepting = False
         self._stopped = False
         self._state_lock = threading.Lock()
+
+    def _count(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[counter] += amount
 
     # -- lifecycle ----------------------------------------------------------------
     def start(self) -> "EncryptedSearchService":
@@ -205,11 +274,12 @@ class EncryptedSearchService:
             worker.join(timeout=self._drain_timeout)
         with self._conn_lock:
             connections = list(self._connections)
+            readers = list(self._readers)
         for connection in connections:
             connection.close()
         if self._accept_thread is not None:
             self._accept_thread.join(timeout=5.0)
-        for reader in self._readers:
+        for reader in readers:
             reader.join(timeout=5.0)
         self.registry.close_all()
 
@@ -222,10 +292,12 @@ class EncryptedSearchService:
     # -- stats --------------------------------------------------------------------
     def stats(self) -> Dict[str, int]:
         with self._stats_lock:
-            admitted, rejected = self._admitted, self._rejected
+            counters = dict(self._counters)
         with self._pending_cond:
-            pending = self._pending
-        return {"admitted": admitted, "rejected": rejected, "pending": pending}
+            counters["pending"] = self._pending
+        with self._conn_lock:
+            counters["open_connections"] = len(self._connections)
+        return counters
 
     # -- accept / read ------------------------------------------------------------
     def _accept_loop(self) -> None:
@@ -238,29 +310,93 @@ class EncryptedSearchService:
             if not self._accepting:  # raced with stop(): refuse, don't serve
                 client_socket.close()
                 return
-            channel = make_channel(client_socket)
-            try:
-                channel.recv_hello("service client")
-                channel.send_hello()
-            except Exception:
-                channel.close()
-                continue
-            connection = _ServiceConnection(channel)
-            with self._conn_lock:
-                self._connections.append(connection)
+            # the handshake happens on the reader thread, never here: a
+            # peer that connects and goes silent must not stall accept
             reader = threading.Thread(
-                target=self._reader_loop, args=(connection,),
+                target=self._reader_loop, args=(client_socket,),
                 name="svc-reader", daemon=True,
             )
+            with self._conn_lock:
+                self._readers[reader] = None
             reader.start()
-            self._readers.append(reader)
 
-    def _reader_loop(self, connection: _ServiceConnection) -> None:
+    def _handshake(self, client_socket: socket.socket) -> Optional[_ServiceConnection]:
+        """Run the hello exchange under ``handshake_timeout``; None on failure."""
+        transport = SocketConnection(
+            client_socket,
+            read_timeout=self._handshake_timeout,
+            message_timeout=self._handshake_timeout,
+            send_timeout=self._send_timeout,
+            max_message_bytes=self._max_frame_bytes,
+        )
+        channel = FrameChannel(transport, max_frame_bytes=self._max_frame_bytes)
+        try:
+            channel.recv_hello("service client")
+            channel.send_hello()
+        except Exception:
+            # never-sends, garbage-before-hello, version mismatch, or a
+            # peer that vanished: one counter, one closed socket, no thread
+            self._count("handshake_failures")
+            channel.close()
+            return None
+        # steady state: switch from the handshake deadline to the idle one
+        transport.read_timeout = self._read_deadline
+        transport.message_timeout = self._message_timeout
+        return _ServiceConnection(channel)
+
+    def _reader_loop(self, client_socket: socket.socket) -> None:
+        connection = self._handshake(client_socket)
+        if connection is None:
+            self._forget_reader()
+            return
+        with self._conn_lock:
+            self._connections.append(connection)
+        try:
+            self._read_requests(connection)
+        finally:
+            connection.close()
+            with self._conn_lock:
+                if connection in self._connections:
+                    self._connections.remove(connection)
+            self._forget_reader()
+
+    def _forget_reader(self) -> None:
+        with self._conn_lock:
+            self._readers.pop(threading.current_thread(), None)
+
+    def _read_requests(self, connection: _ServiceConnection) -> None:
         while True:
             try:
                 message = connection.channel.recv_message()
-            except (EOFError, OSError, ValueError):
+            except (EOFError, OSError):
                 return  # client hung up (or shutdown closed the socket)
+            except FrameTooLargeError as error:
+                # the request id is unknowable (the frame was refused), so
+                # answer on id -1 as a courtesy, then drop the connection —
+                # clients enforce the same cap before sending, making this
+                # the hostile/corrupted-peer path, not a normal error path
+                self._count("oversized_frames")
+                self._count("reaped_connections")
+                connection.send(
+                    ServiceResponse(
+                        request_id=-1,
+                        status=STATUS_ERROR,
+                        error=str(error),
+                        error_type="FrameTooLargeError",
+                    )
+                )
+                return
+            except FrameCorruptionError:
+                self._count("corrupt_frames")
+                self._count("reaped_connections")
+                return
+            except WireTimeoutError:
+                # idle past read_deadline or wedged mid-frame past
+                # message_timeout: reap the connection, free the thread
+                self._count("reaped_connections")
+                return
+            except ValueError:
+                return  # closed-socket race inside recv plumbing
             if not isinstance(message, ServiceRequest):
                 connection.send(
                     ServiceResponse(
@@ -284,16 +420,32 @@ class EncryptedSearchService:
                 )
             )
             return
+        session = self._session_for(request)
+        if session is not None and session.rate_limit is not None:
+            if not session.rate_limit.try_acquire():
+                session.note_rate_limited()
+                self._count("rate_limited")
+                connection.send(
+                    ServiceResponse(
+                        request_id=request.request_id,
+                        status=STATUS_REJECTED,
+                        error=(
+                            f"tenant {request.tenant!r} is over its rate "
+                            "limit; back off and retry"
+                        ),
+                        error_type="TenantRateLimitedError",
+                    )
+                )
+                return
         # claim the pending slot BEFORE the put: a worker may finish the
         # request between put_nowait and a later increment, and the drain
         # barrier must never observe pending == 0 with work still queued
         self._begin_request()
         try:
-            self._queue.put_nowait((request, connection))
+            self._queue.put_nowait((request, connection, time.monotonic()))
         except queue.Full:
             self._finish_request()
-            with self._stats_lock:
-                self._rejected += 1
+            self._count("rejected")
             connection.send(
                 ServiceResponse(
                     request_id=request.request_id,
@@ -303,8 +455,15 @@ class EncryptedSearchService:
                 )
             )
             return
-        with self._stats_lock:
-            self._admitted += 1
+        self._count("admitted")
+
+    def _session_for(self, request: ServiceRequest) -> Optional[TenantSession]:
+        try:
+            return self.registry.get(request.tenant)
+        except Exception:
+            # unknown tenant: admit anyway so the worker produces the
+            # usual typed UnknownTenantError response
+            return None
 
     # -- execution ----------------------------------------------------------------
     def _worker_loop(self) -> None:
@@ -312,27 +471,80 @@ class EncryptedSearchService:
             item = self._queue.get()
             if item is None:
                 return
-            request, connection = item
-            started = time.perf_counter()
+            request, connection, admitted_at = item
             try:
-                session = self.registry.get(request.tenant)
-                result = session.execute(request.op, request.payload)
-                response = ServiceResponse(
-                    request_id=request.request_id,
-                    status=STATUS_OK,
-                    result=result,
-                    service_seconds=time.perf_counter() - started,
+                response = self._serve(request, admitted_at)
+                if not connection.send(response):
+                    self._count("dropped_responses")
+            finally:
+                # unconditionally: the drain barrier and stats() must stay
+                # exact even when serving or sending blew up — a connection
+                # that died after admission must not leak its pending slot
+                self._finish_request()
+
+    def _serve(self, request: ServiceRequest, admitted_at: float) -> ServiceResponse:
+        started = time.perf_counter()
+
+        def finish(
+            status: str,
+            result: object = None,
+            error: Optional[str] = None,
+            error_type: Optional[str] = None,
+        ) -> ServiceResponse:
+            return ServiceResponse(
+                request_id=request.request_id,
+                status=status,
+                result=result,
+                error=error,
+                error_type=error_type,
+                service_seconds=time.perf_counter() - started,
+            )
+
+        session: Optional[TenantSession] = None
+        dedup_key: Optional[Tuple[str, int]] = None
+        try:
+            session = self.registry.get(request.tenant)
+            # a request whose client gave up while it queued is dropped
+            # unexecuted — capacity goes to callers still listening
+            if request.ttl_seconds is not None and (
+                time.monotonic() - admitted_at > request.ttl_seconds
+            ):
+                session.note_expired()
+                self._count("expired")
+                return finish(
+                    STATUS_ERROR,
+                    error=(
+                        f"request deadline of {request.ttl_seconds:.3f}s "
+                        "expired while queued; dropped without executing"
+                    ),
+                    error_type="DeadlineExceededError",
                 )
-            except Exception as exc:  # every failure becomes a response
-                response = ServiceResponse(
-                    request_id=request.request_id,
-                    status=STATUS_ERROR,
-                    error=str(exc),
-                    error_type=type(exc).__name__,
-                    service_seconds=time.perf_counter() - started,
-                )
-            connection.send(response)
-            self._finish_request()
+            if request.client_id and request.op in MUTATING_OPS:
+                dedup_key = (request.client_id, request.request_id)
+                is_primary, outcome = session.dedup.claim(dedup_key)
+                if not is_primary:
+                    # replayed delivery: return the original outcome; the
+                    # mutation was applied exactly once, by the primary
+                    session.note_deduplicated()
+                    self._count("deduplicated")
+                    status, result, error, error_type = outcome
+                    return finish(status, result, error, error_type)
+            result = session.execute(request.op, request.payload)
+            if dedup_key is not None:
+                session.dedup.complete(dedup_key, (STATUS_OK, result, None, None))
+                dedup_key = None
+            return finish(STATUS_OK, result=result)
+        except Exception as exc:  # every failure becomes a response
+            outcome = (STATUS_ERROR, None, str(exc), type(exc).__name__)
+            if dedup_key is not None and session is not None:
+                # record the failure too: the replay must see "it failed",
+                # not silently run the mutation a second time
+                session.dedup.complete(dedup_key, outcome)
+                dedup_key = None
+            return finish(STATUS_ERROR, error=str(exc), error_type=type(exc).__name__)
+        finally:
+            if dedup_key is not None and session is not None:
+                session.dedup.abandon(dedup_key)
 
     # -- pending accounting -------------------------------------------------------
     def _begin_request(self) -> None:

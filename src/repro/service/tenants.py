@@ -15,11 +15,24 @@ hand in a pre-built owner).  :class:`TenantSession` is the execution target
 a service worker dispatches a request to; the heavy lifting — engine
 locking, cache coherence — lives in the owner/engine layer, so a session
 only adds request dispatch and served/error accounting.
+
+Resilience additions (PR 10)
+----------------------------
+Each session optionally carries a :class:`TokenBucket` (per-tenant rate
+limit, consulted by the server's admission path — a noisy tenant sheds its
+*own* load as :class:`~repro.exceptions.TenantRateLimitedError` before it
+can crowd the shared queue) and always carries a :class:`DedupWindow`
+keyed by ``(client_id, request_id)``, which makes replayed mutating ops
+exactly-once: a retrying client that lost the connection mid-insert can
+resend blind, and the second delivery returns the first one's outcome
+instead of applying the insert twice.
 """
 
 from __future__ import annotations
 
 import threading
+import time
+from collections import OrderedDict
 from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.crypto.base import EncryptedSearchScheme
@@ -30,18 +43,148 @@ from repro.owner.db_owner import DBOwner
 from repro.owner.keystore import KeyStore
 
 
+class TokenBucket:
+    """A classic token bucket: ``rate`` tokens/second, ``burst`` capacity.
+
+    ``try_acquire`` never blocks — admission control wants an immediate
+    yes/no, and the *client* owns the backoff (it knows its deadline; the
+    server does not).  The bucket starts full, refills continuously, and
+    ``clock`` is injectable so tests control time instead of sleeping.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        if rate <= 0 or burst <= 0:
+            raise ServiceError("token bucket needs positive rate and burst")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self._clock = clock
+        self._tokens = self.burst
+        self._last_refill = clock()
+        self._lock = threading.Lock()
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        with self._lock:
+            now = self._clock()
+            self._tokens = min(
+                self.burst, self._tokens + (now - self._last_refill) * self.rate
+            )
+            self._last_refill = now
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+
+#: Dedup outcome payload: (status, result, error, error_type) — everything
+#: needed to rebuild a ServiceResponse for the duplicate delivery.
+DedupOutcome = Tuple[str, object, Optional[str], Optional[str]]
+
+
+class DedupWindow:
+    """Bounded exactly-once memory keyed by ``(client_id, request_id)``.
+
+    ``claim`` is the worker-side entry point: the first claimant becomes
+    the *primary* (executes for real, then must ``complete``); any
+    concurrent or later claimant of the same key blocks until the primary
+    completes and receives the recorded outcome — so two racing duplicate
+    deliveries can never both execute, and a late duplicate gets the
+    original answer instead of a re-application.
+
+    The window holds the most recent ``capacity`` *completed* outcomes
+    (FIFO eviction; in-flight keys are never evicted).  A duplicate older
+    than the window re-executes — the window is the replay horizon, sized
+    to comfortably exceed any client's retry budget.
+    """
+
+    _PENDING = object()
+
+    def __init__(self, capacity: int = 1024):
+        self.capacity = max(1, int(capacity))
+        self._lock = threading.Lock()
+        self._done = threading.Condition(self._lock)
+        self._entries: "OrderedDict[Tuple[str, int], object]" = OrderedDict()
+        self._completed = 0
+
+    def claim(
+        self, key: Tuple[str, int], timeout: float = 30.0
+    ) -> Tuple[bool, Optional[DedupOutcome]]:
+        """(is_primary, outcome): primaries get (True, None) and MUST call
+        :meth:`complete`; duplicates get (False, the primary's outcome)."""
+        deadline = time.monotonic() + timeout
+        with self._lock:
+            while True:
+                entry = self._entries.get(key)
+                if entry is None:
+                    self._entries[key] = self._PENDING
+                    return True, None
+                if entry is not self._PENDING:
+                    return False, entry  # completed: replay the outcome
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    raise ServiceError(
+                        "duplicate request still executing after "
+                        f"{timeout:.1f}s; giving up on the replay"
+                    )
+                self._done.wait(remaining)
+
+    def complete(self, key: Tuple[str, int], outcome: DedupOutcome) -> None:
+        with self._lock:
+            self._entries[key] = outcome
+            self._entries.move_to_end(key)
+            self._completed += 1
+            # evict oldest *completed* entries past capacity; pending keys
+            # (insertion order precedes completion) are skipped, not lost
+            surplus = len(self._entries) - self.capacity
+            if surplus > 0:
+                for old_key in list(self._entries):
+                    if surplus <= 0:
+                        break
+                    if self._entries[old_key] is self._PENDING:
+                        continue
+                    del self._entries[old_key]
+                    surplus -= 1
+            self._done.notify_all()
+
+    def abandon(self, key: Tuple[str, int]) -> None:
+        """Release a claimed key without an outcome (primary never ran)."""
+        with self._lock:
+            if self._entries.get(key) is self._PENDING:
+                del self._entries[key]
+            self._done.notify_all()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 class TenantSession:
     """One tenant's live state inside the service."""
 
-    def __init__(self, name: str, owner: DBOwner):
+    def __init__(
+        self,
+        name: str,
+        owner: DBOwner,
+        rate_limit: Optional[TokenBucket] = None,
+        dedup_capacity: int = 1024,
+    ):
         self.name = name
         self.owner = owner
+        self.rate_limit = rate_limit
+        self.dedup = DedupWindow(dedup_capacity)
         #: guards only the session's own counters; data-path safety comes
         #: from the owner's and engines' locks, so two queries against
         #: different attributes of one tenant may overlap.
         self._stats_lock = threading.Lock()
         self._served = 0
         self._errors = 0
+        self._rate_limited = 0
+        self._expired = 0
+        self._deduplicated = 0
         self._closed = False
 
     # -- request dispatch ---------------------------------------------------------
@@ -86,12 +229,27 @@ class TenantSession:
         return payload
 
     # -- accounting ---------------------------------------------------------------
+    def note_rate_limited(self) -> None:
+        with self._stats_lock:
+            self._rate_limited += 1
+
+    def note_expired(self) -> None:
+        with self._stats_lock:
+            self._expired += 1
+
+    def note_deduplicated(self) -> None:
+        with self._stats_lock:
+            self._deduplicated += 1
+
     def stats(self) -> Dict[str, object]:
         with self._stats_lock:
             return {
                 "tenant": self.name,
                 "served": self._served,
                 "errors": self._errors,
+                "rate_limited": self._rate_limited,
+                "expired": self._expired,
+                "deduplicated": self._deduplicated,
                 "attributes": list(self.owner.searchable_attributes()),
             }
 
@@ -118,6 +276,8 @@ class TenantRegistry:
         policy: SensitivityPolicy,
         attributes: Iterable[str] = (),
         scheme_factory: Optional[Callable[[], EncryptedSearchScheme]] = None,
+        rate_limit: Optional[TokenBucket] = None,
+        dedup_capacity: int = 1024,
         **owner_kwargs,
     ) -> TenantSession:
         """Build a fully-isolated tenant and outsource its attributes.
@@ -125,6 +285,8 @@ class TenantRegistry:
         A fresh :class:`KeyStore` is always created — tenants never share
         keys.  ``owner_kwargs`` pass through to :class:`DBOwner` (e.g.
         ``num_clouds``, ``storage_backend``, ``permutation_seed``).
+        ``rate_limit`` caps this tenant's admitted qps (see
+        :class:`TokenBucket`); ``dedup_capacity`` sizes its replay window.
         """
         owner = DBOwner(
             relation,
@@ -135,11 +297,21 @@ class TenantRegistry:
         )
         for attribute in attributes:
             owner.outsource(attribute)
-        return self.register_session(name, owner)
+        return self.register_session(
+            name, owner, rate_limit=rate_limit, dedup_capacity=dedup_capacity
+        )
 
-    def register_session(self, name: str, owner: DBOwner) -> TenantSession:
+    def register_session(
+        self,
+        name: str,
+        owner: DBOwner,
+        rate_limit: Optional[TokenBucket] = None,
+        dedup_capacity: int = 1024,
+    ) -> TenantSession:
         """Adopt a pre-built owner as tenant ``name`` (tests, benchmarks)."""
-        session = TenantSession(name, owner)
+        session = TenantSession(
+            name, owner, rate_limit=rate_limit, dedup_capacity=dedup_capacity
+        )
         with self._lock:
             if self._closed:
                 raise ServiceClosedError("tenant registry is closed")
@@ -147,6 +319,10 @@ class TenantRegistry:
                 raise ServiceError(f"tenant {name!r} is already registered")
             self._sessions[name] = session
         return session
+
+    def set_rate_limit(self, name: str, rate_limit: Optional[TokenBucket]) -> None:
+        """Install (or clear) a tenant's token bucket at runtime."""
+        self.get(name).rate_limit = rate_limit
 
     # -- lookup -------------------------------------------------------------------
     def get(self, name: str) -> TenantSession:
